@@ -1,0 +1,45 @@
+# Configurable Cloud reproduction — common workflows.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench experiments examples fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table/figure at paper-like sizing.
+experiments:
+	$(GO) run ./cmd/ccexperiment -exp all -full
+
+# Run every example binary once.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/searchrank
+	$(GO) run ./examples/cryptooffload
+	$(GO) run ./examples/remotepool
+	$(GO) run ./examples/haasdemo
+	$(GO) run ./examples/multifpga
+	$(GO) run ./examples/bioinformatics
+
+# Brief fuzzing passes over the wire decoders.
+fuzz:
+	$(GO) test -fuzz FuzzDecode$$ -fuzztime 30s ./internal/pkt/
+	$(GO) test -fuzz FuzzDecodeLTL -fuzztime 30s ./internal/pkt/
+	$(GO) test -fuzz FuzzEncodeDecodeUDP -fuzztime 30s ./internal/pkt/
+
+clean:
+	$(GO) clean -testcache

@@ -1,0 +1,55 @@
+// Command ccexperiment regenerates the paper's tables and figures as
+// text. Every experiment from the evaluation section of "A Cloud-Scale
+// Acceleration Architecture" (MICRO 2016) has an id; see -list.
+//
+// Usage:
+//
+//	ccexperiment -exp fig10          # one experiment, quick sizing
+//	ccexperiment -exp all -full      # everything at paper-like sizing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	configcloud "repro"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id or 'all'")
+	full := flag.Bool("full", false, "paper-like sizing (slower)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables (for plotting)")
+	flag.Parse()
+
+	if *list {
+		for _, id := range configcloud.ExperimentIDs {
+			fmt.Println(id)
+		}
+		return
+	}
+	scale := configcloud.Quick
+	if *full {
+		scale = configcloud.Full
+	}
+	ids := configcloud.ExperimentIDs
+	if *exp != "all" {
+		ids = []string{*exp}
+	}
+	for _, id := range ids {
+		fmt.Printf("### experiment %s\n\n", id)
+		tabs, err := configcloud.RunExperiment(id, scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ccexperiment: %v\n", err)
+			os.Exit(1)
+		}
+		for _, t := range tabs {
+			if *csv {
+				fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
+			} else {
+				fmt.Println(t.String())
+			}
+		}
+	}
+}

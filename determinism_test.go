@@ -1,0 +1,43 @@
+package configcloud
+
+import (
+	"testing"
+)
+
+// Every experiment is a pure function of its seed: rendering the same
+// experiment twice must produce byte-identical tables. This is the
+// regression harness that keeps EXPERIMENTS.md's recorded numbers honest.
+func TestExperimentDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several experiments twice")
+	}
+	for _, id := range []string{"fig5", "power", "reliability", "crypto", "haas", "ext-bioinfo", "ext-compression"} {
+		render := func() string {
+			tabs, err := RunExperiment(id, Quick)
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			out := ""
+			for _, tab := range tabs {
+				out += tab.String()
+			}
+			return out
+		}
+		if a, b := render(), render(); a != b {
+			t.Errorf("experiment %s is non-deterministic", id)
+		}
+	}
+}
+
+func TestFig10Determinism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig10 twice is heavy")
+	}
+	cfg := DefaultFig10Config()
+	cfg.PingsPer = 60
+	a := Fig10(cfg)
+	b := Fig10(cfg)
+	if a.Table().String() != b.Table().String() {
+		t.Fatal("Fig10 is non-deterministic")
+	}
+}

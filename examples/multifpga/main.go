@@ -1,0 +1,58 @@
+// Multifpga deploys the multi-FPGA service the paper motivates ("more
+// aggressive web search ranking" across ganged FPGAs): a three-stage
+// pipeline — feature extraction, DNN scoring, aggregation — spread over
+// FPGAs that hand work to each other directly over LTL, with HaaS-style
+// repair when a stage dies.
+package main
+
+import (
+	"fmt"
+
+	configcloud "repro"
+	"repro/internal/multifpga"
+	"repro/internal/shell"
+)
+
+func main() {
+	cloud := configcloud.New(configcloud.Options{Seed: 6})
+	client := cloud.Node(0).Shell
+	stageShells := []*shell.Shell{
+		cloud.Node(1).Shell,  // same TOR
+		cloud.Node(24).Shell, // next TOR, same pod
+		cloud.Node(25).Shell,
+	}
+	stages := []multifpga.Stage{
+		{Name: "feature-extract", Service: 8 * configcloud.Microsecond,
+			Transform: func(p []byte) []byte { return append(p, []byte("|features")...) }},
+		{Name: "dnn-score", Service: 30 * configcloud.Microsecond,
+			Transform: func(p []byte) []byte { return append(p, []byte("|scores")...) }},
+		{Name: "aggregate", Service: 4 * configcloud.Microsecond,
+			Transform: func(p []byte) []byte { return append(p, []byte("|top-k")...) }},
+	}
+	p, err := multifpga.New(cloud.Sim, client, stageShells, stages, 100)
+	if err != nil {
+		panic(err)
+	}
+
+	const n = 200
+	done := 0
+	p.Submit([]byte("q:first"), func(r []byte) {
+		fmt.Printf("[%v] first result: %s\n", cloud.Sim.Now(), r)
+	})
+	for i := 0; i < n; i++ {
+		p.Submit([]byte("q"), func([]byte) { done++ })
+	}
+	cloud.Run(50 * configcloud.Millisecond)
+	fmt.Printf("pipelined %d requests; latency %s\n", done, p.Latency.Summary())
+
+	// Stage 1's FPGA dies; HaaS swaps in a spare and traffic resumes.
+	fmt.Println("\nkilling the dnn-score FPGA and repairing onto a spare ...")
+	p.StageShell(1).PowerCycle()
+	if err := p.ReplaceStage(1, cloud.Node(26).Shell); err != nil {
+		panic(err)
+	}
+	p.Submit([]byte("q:after-repair"), func(r []byte) {
+		fmt.Printf("[%v] post-repair result: %s\n", cloud.Sim.Now(), r)
+	})
+	cloud.Run(10 * configcloud.Millisecond)
+}

@@ -1,0 +1,462 @@
+package configcloud
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bioinfo"
+	"repro/internal/board"
+	"repro/internal/compressor"
+	"repro/internal/cryptoflow"
+	"repro/internal/dnnpool"
+	"repro/internal/haas"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/pkt"
+	"repro/internal/ranking"
+	"repro/internal/reliability"
+	"repro/internal/shell"
+	"repro/internal/sim"
+)
+
+// Table is the experiment output format.
+type Table = metrics.Table
+
+// Experiment identifiers accepted by RunExperiment and cmd/ccexperiment.
+// The "ext-" entries are extensions beyond the paper's figures: the other
+// Fig. 1a workloads (bioinformatics, compression) and elastic pool
+// management, all running on the same substrates.
+var ExperimentIDs = []string{
+	"fig5", "power", "reliability", "fig6", "fig7", "fig8", "crypto",
+	"fig10", "fig11", "fig12", "haas", "ltlloss",
+	"ext-bioinfo", "ext-compression",
+}
+
+// Scale selects experiment sizing: tests use Quick, the benchmark harness
+// and cmd/ccexperiment use Full.
+type Scale int
+
+// Scales.
+const (
+	Quick Scale = iota
+	Full
+)
+
+// RunExperiment regenerates one paper artifact as text tables.
+func RunExperiment(id string, scale Scale) ([]*Table, error) {
+	switch id {
+	case "fig5":
+		return []*Table{shell.AreaTable()}, nil
+	case "power":
+		return []*Table{board.Table()}, nil
+	case "reliability":
+		reps := 500
+		if scale == Full {
+			reps = 5000
+		}
+		return []*Table{reliability.Table(2, reps)}, nil
+	case "fig6":
+		return []*Table{ExpFig6(scale)}, nil
+	case "fig7":
+		t7, _ := ExpFig7Fig8(scale)
+		return []*Table{t7}, nil
+	case "fig8":
+		_, t8 := ExpFig7Fig8(scale)
+		return []*Table{t8}, nil
+	case "crypto":
+		return []*Table{cryptoflow.DefaultCostModel().CostTable(), ExpCryptoFunctional()}, nil
+	case "fig10":
+		cfg := DefaultFig10Config()
+		if scale == Quick {
+			cfg.PingsPer = 150
+		}
+		return []*Table{Fig10(cfg).Table()}, nil
+	case "fig11":
+		return []*Table{ExpFig11(scale)}, nil
+	case "fig12":
+		return []*Table{ExpFig12(scale)}, nil
+	case "haas":
+		return []*Table{ExpHaaS()}, nil
+	case "ltlloss":
+		return []*Table{ExpLTLLoss(scale)}, nil
+	case "ext-bioinfo":
+		return []*Table{ExpBioinfo()}, nil
+	case "ext-compression":
+		return []*Table{compressor.DefaultCostModel().Table(40)}, nil
+	default:
+		return nil, fmt.Errorf("unknown experiment %q (have %v)", id, ExperimentIDs)
+	}
+}
+
+// rankingSweepConfig sizes the Fig. 6/11 sweeps.
+func rankingSweepConfig(scale Scale) ranking.SweepConfig {
+	cfg := ranking.DefaultSweepConfig()
+	if scale == Quick {
+		cfg.QueriesPer = 5000
+		cfg.PoolSize = 400
+		cfg.Points = 8
+	} else {
+		cfg.QueriesPer = 50000
+		cfg.Points = 12
+	}
+	return cfg
+}
+
+// ExpFig6 runs the single-box ranking sweep (software vs local FPGA) and
+// renders the normalized curves plus the headline gain.
+func ExpFig6(scale Scale) *Table {
+	res := ranking.Fig6(rankingSweepConfig(scale))
+	t := &Table{
+		Title: "Fig. 6 — Ranking 99% latency vs throughput (single box, normalized)",
+		Headers: []string{"mode", "throughput (x sw nominal)", "p99 latency (x target)",
+			"cpu util", "fpga util"},
+	}
+	add := func(mode string, pts []ranking.SweepPoint) {
+		for _, p := range pts {
+			t.AddRow(mode,
+				p.OfferedQPS/res.SwNominalQPS,
+				float64(p.P99)/float64(res.TargetLatency),
+				p.CPUUtil, p.FPGAUtil)
+		}
+	}
+	add("software", res.Software)
+	add("local-fpga", res.LocalFPGA)
+	t.AddRow("=> throughput gain at target 99% latency", res.ThroughputGain, "-", "-", "-")
+	return t
+}
+
+// ExpFig7Fig8 runs the compressed five-day two-datacenter comparison and
+// renders Fig. 7 (time series) and Fig. 8 (load vs latency scatter).
+func ExpFig7Fig8(scale Scale) (*Table, *Table) {
+	cfg := ranking.DefaultProductionConfig()
+	if scale == Quick {
+		cfg.Servers = 3
+		cfg.DayLength = 1 * sim.Second
+		cfg.Days = 3
+		cfg.PoolSize = 300
+	}
+	res := ranking.Production(cfg)
+
+	t7 := &Table{
+		Title: "Fig. 7 — Five-day production run (windowed; latency normalized to sw p99.9 target)",
+		Headers: []string{"window", "day", "sw offered qps", "sw admitted", "sw p99.9 (x)",
+			"sw shed", "fpga qps", "fpga p99.9 (x)"},
+	}
+	n := len(res.Software)
+	if len(res.FPGA) < n {
+		n = len(res.FPGA)
+	}
+	norm := func(v sim.Time) float64 { return float64(v) / float64(res.TargetLatency) }
+	for i := 0; i < n; i++ {
+		sw, fp := res.Software[i], res.FPGA[i]
+		t7.AddRow(i, float64(sw.At)/float64(cfg.DayLength),
+			sw.Offered, sw.Load, norm(sw.P999), sw.Shed, fp.Load, norm(fp.P999))
+	}
+
+	t8 := &Table{
+		Title:   "Fig. 8 — Query 99.9% latency vs offered load (same windows as Fig. 7)",
+		Headers: []string{"dc", "load (qps)", "p99.9 (x target)"},
+	}
+	for _, w := range res.Software {
+		t8.AddRow("software", w.Load, norm(w.P999))
+	}
+	for _, w := range res.FPGA {
+		t8.AddRow("fpga", w.Load, norm(w.P999))
+	}
+	return t7, t8
+}
+
+// ExpCryptoFunctional exercises the crypto tap end-to-end between two
+// shells and reports functional counters (§IV's transparency claim).
+func ExpCryptoFunctional() *Table {
+	cloud := New(Options{Seed: 4})
+	taps := map[int]*cryptoflow.Tap{}
+	for _, id := range []int{0, 1} {
+		n := cloud.Node(id)
+		tap := cryptoflow.NewTap(cryptoflow.DefaultCostModel())
+		n.Shell.AddTap(tap)
+		taps[id] = tap
+	}
+	key := []byte("0123456789abcdef")
+	flow := cryptoflow.FlowKey{
+		Src: netsim.HostIP(0), Dst: netsim.HostIP(1), SrcPort: 7000, DstPort: 7000,
+	}
+	id, err := taps[0].AddFlow(flow, cryptoflow.AESCBC128SHA1, key)
+	must(err)
+	must(taps[1].AddFlowWithID(flow, cryptoflow.AESCBC128SHA1, key, id))
+
+	h1 := cloud.Node(1).Host
+	plain := 0
+	h1.RegisterUDP(7000, func(f *pkt.Frame) {
+		if string(f.Payload) == "secret payload" {
+			plain++
+		}
+	})
+	for i := 0; i < 200; i++ {
+		cloud.Node(0).Host.SendUDP(h1.IP(), 7000, 7000, pkt.ClassBestEffort, []byte("secret payload"))
+	}
+	cloud.Run(50 * Millisecond)
+
+	t := &Table{
+		Title:   "Sec. IV — Transparent per-flow encryption, end to end",
+		Headers: []string{"counter", "value"},
+	}
+	t.AddRow("packets sent (plaintext at sender)", 200)
+	t.AddRow("packets encrypted at sender FPGA", taps[0].Stats.Encrypted.Value())
+	t.AddRow("packets decrypted at receiver FPGA", taps[1].Stats.Decrypted.Value())
+	t.AddRow("plaintext packets delivered to software", plain)
+	t.AddRow("auth failures", taps[1].Stats.AuthFailures.Value())
+	return t
+}
+
+// MeasureLTLRTTs collects n LTL message round trips across the given tier
+// (0/1/2); the Fig. 11 remote-ranking sweep samples these, so the remote
+// feature stage rides empirically measured LTL latencies.
+func MeasureLTLRTTs(seed int64, tier, n int) []sim.Time {
+	cloud := New(Options{Seed: seed})
+	topo := cloud.DC.Config()
+	var b int
+	switch tier {
+	case 0:
+		b = 1
+	case 1:
+		b = topo.HostsPerTOR
+	default:
+		b = topo.HostsPerTOR * topo.TORsPerPod
+	}
+	na, nb := cloud.Node(0), cloud.Node(b)
+	must(nb.Shell.Engine.OpenRecv(9, netsim.HostIP(0), nil))
+	must(na.Shell.Engine.OpenSend(9, netsim.HostIP(b), netsim.HostMAC(b), 9, 0, nil))
+	var out []sim.Time
+	payload := make([]byte, 64)
+	var ping func()
+	ping = func() {
+		if len(out) >= n {
+			return
+		}
+		t0 := cloud.Sim.Now()
+		must(na.Shell.Engine.SendMessage(9, payload, func() {
+			out = append(out, cloud.Sim.Now()-t0)
+			cloud.Sim.Schedule(20*Microsecond, ping)
+		}))
+	}
+	cloud.Sim.Schedule(0, ping)
+	cloud.Run(sim.Time(n+10) * 50 * Microsecond)
+	return out
+}
+
+// ExpFig11 runs the software/local/remote ranking comparison with the
+// remote path's RTT sampled from measured LTL round trips.
+func ExpFig11(scale Scale) *Table {
+	rtts := MeasureLTLRTTs(8, 1, 300)
+	rng := rand.New(rand.NewSource(8))
+	cfg := rankingSweepConfig(scale)
+	cfg.RemoteRTT = func() sim.Time { return rtts[rng.Intn(len(rtts))] }
+	res := ranking.Fig11(cfg)
+
+	t := &Table{
+		Title:   "Fig. 11 — Ranking latency: software vs local FPGA vs remote FPGA (normalized)",
+		Headers: []string{"mode", "throughput (x sw nominal)", "p99.9 latency (x target)"},
+	}
+	add := func(mode string, pts []ranking.SweepPoint) {
+		for _, p := range pts {
+			t.AddRow(mode, p.OfferedQPS/res.SwNominalQPS,
+				float64(p.P999)/float64(res.TargetLatency))
+		}
+	}
+	add("software", res.Software)
+	add("local-fpga", res.LocalFPGA)
+	add("remote-fpga", res.RemoteFPGA)
+	t.AddRow("=> remote overhead at nominal load",
+		fmt.Sprintf("%.1f%%", res.RemoteOverheadAtNominal*100), "-")
+	return t
+}
+
+// ExpFig12 sweeps DNN-pool oversubscription and renders latencies
+// normalized to the locally-attached baseline.
+func ExpFig12(scale Scale) *Table {
+	cfg := dnnpool.DefaultConfig()
+	var counts []int
+	if scale == Quick {
+		cfg.Clients = 12
+		cfg.Duration = 200 * Millisecond
+		cfg.Warmup = 40 * Millisecond
+		counts = []int{12, 6, 4, 2}
+	} else {
+		cfg.Clients = 24
+		counts = []int{24, 12, 8, 6, 4, 2, 1}
+	}
+	base, points := dnnpool.Fig12(cfg, counts)
+	t := &Table{
+		Title: fmt.Sprintf("Fig. 12 — DNN pool latency vs oversubscription (knee at %.1f clients/FPGA; normalized to local)",
+			cfg.KneeClientsPerFPGA()),
+		Headers: []string{"clients/FPGA", "avg (x local)", "p95 (x local)", "p99 (x local)", "requests"},
+	}
+	for _, p := range points {
+		t.AddRow(p.Ratio,
+			float64(p.Avg)/float64(base.Avg),
+			float64(p.P95)/float64(base.P95),
+			float64(p.P99)/float64(base.P99),
+			p.Completed)
+	}
+	return t
+}
+
+// ExpBioinfo runs the Fig. 1a bioinformatics workload: Smith-Waterman
+// alignment of mutated reads against a reference on local and remote
+// FPGAs, verifying identical results and reporting the latency split.
+func ExpBioinfo() *Table {
+	cloud := New(Options{Seed: 13})
+	local, remote := cloud.Node(0), cloud.Node(100)
+	cost := bioinfo.DefaultCostModel()
+	sc := bioinfo.DefaultScoring()
+	local.Shell.LoadRole(bioinfo.NewRole(cloud.Sim, cost, sc))
+	remoteRole := bioinfo.NewRole(cloud.Sim, cost, sc)
+	remote.Shell.LoadRole(remoteRole)
+
+	rng := rand.New(rand.NewSource(13))
+	ref := bioinfo.RandomSequence(rng, 2000)
+	read := bioinfo.Mutate(rng, ref[600:728], 0.04)
+	direct := bioinfo.Align(read, ref, sc)
+
+	var localT, remoteT sim.Time
+	var localAl, remoteAl bioinfo.Alignment
+	req := bioinfo.EncodeRequest(read, ref)
+	t0 := cloud.Sim.Now()
+	must(local.Shell.PCIeCall(req, func(resp []byte) {
+		localAl, _ = bioinfo.DecodeResponse(resp)
+		localT = cloud.Sim.Now() - t0
+	}))
+	cloud.Run(Millisecond)
+
+	must(remote.Shell.OpenRemoteRecv(3, 0, func(p []byte) {
+		remoteRole.HandleRequest(shell.FromLTL, p, func(resp []byte) {
+			remote.Shell.SendRemote(4, resp, nil)
+		})
+	}))
+	must(remote.Shell.OpenRemoteSend(4, 0, 4, nil))
+	t1 := cloud.Sim.Now()
+	must(local.Shell.OpenRemoteRecv(4, 100, func(resp []byte) {
+		remoteAl, _ = bioinfo.DecodeResponse(resp)
+		remoteT = cloud.Sim.Now() - t1
+	}))
+	must(local.Shell.OpenRemoteSend(3, 100, 3, nil))
+	local.Shell.SendRemote(3, req, nil)
+	cloud.Run(Millisecond)
+
+	t := &Table{
+		Title:   "Extension — Smith-Waterman on the acceleration plane (Fig. 1a workload)",
+		Headers: []string{"metric", "value"},
+	}
+	t.AddRow("problem", fmt.Sprintf("%dbp read vs %dbp reference", len(read), len(ref)))
+	t.AddRow("software score / ref-end", fmt.Sprintf("%d / %d", direct.Score, direct.RefEnd))
+	t.AddRow("local FPGA score (must match)", localAl.Score)
+	t.AddRow("remote FPGA score (must match)", remoteAl.Score)
+	t.AddRow("systolic speedup vs software", cost.Speedup(len(read), len(ref)))
+	t.AddRow("local PCIe round trip", localT.String())
+	t.AddRow("remote LTL round trip", remoteT.String())
+	return t
+}
+
+// ExpHaaS demonstrates the Fig. 13 lease lifecycle: two services share
+// the pool, a node dies, the SM repairs itself.
+func ExpHaaS() *Table {
+	s := sim.New(5)
+	healthy := map[haas.NodeID]*bool{}
+	rm := haas.NewResourceManager(s, haas.RMConfig{
+		PodOf: func(id haas.NodeID) int { return int(id) / 8 },
+	})
+	const nodes = 16
+	for i := 0; i < nodes; i++ {
+		ok := true
+		id := haas.NodeID(i)
+		healthy[id] = &ok
+		rm.Register(&haas.FPGAManager{
+			Node:      id,
+			Configure: func(string) {},
+			Healthy:   func() bool { return *healthy[id] },
+		})
+	}
+	smA := haas.NewServiceManager(s, rm, "ranking", "rank-v2")
+	smB := haas.NewServiceManager(s, rm, "dnn", "dnn-v1")
+	must(smA.Scale(6, haas.Constraints{Pod: -1}))
+	must(smB.Scale(4, haas.Constraints{Pod: -1}))
+	freeBefore := rm.FreeCount()
+
+	victim := smA.Members()[2]
+	*healthy[victim] = false
+	s.RunFor(2 * sim.Second)
+
+	t := &Table{
+		Title:   "Fig. 13 / Sec. V-F — HaaS lease lifecycle",
+		Headers: []string{"metric", "value"},
+	}
+	t.AddRow("pool size", nodes)
+	t.AddRow("service A (ranking) FPGAs", len(smA.Members()))
+	t.AddRow("service B (dnn) FPGAs", len(smB.Members()))
+	t.AddRow("unallocated before failure", freeBefore)
+	t.AddRow("failures detected", rm.Failures.Value())
+	t.AddRow("replacements issued", rm.Replaced.Value())
+	t.AddRow("service A repaired", smA.Repaired.Value())
+	t.AddRow("unallocated after repair", rm.FreeCount())
+	rm.Stop()
+	return t
+}
+
+// ExpLTLLoss measures LTL reliability machinery under injected frame loss
+// (§V-A: ACK/NACK retransmission, 50 µs timeout, fast failure
+// detection).
+func ExpLTLLoss(scale Scale) *Table {
+	msgs := 400
+	if scale == Full {
+		msgs = 4000
+	}
+	t := &Table{
+		Title: "Sec. V-A — LTL under injected frame loss (same-TOR pair)",
+		Headers: []string{"loss rate", "delivered", "avg RTT", "p99 RTT",
+			"timeouts", "nack rtx", "conn failed"},
+	}
+	for _, loss := range []float64{0, 0.001, 0.01, 0.05, 1.0} {
+		cloud := New(Options{Seed: 21})
+		a, b := cloud.Node(0), cloud.Node(1)
+		a.Shell.SetEgressLossRate(loss)
+		failed := false
+		must(b.Shell.Engine.OpenRecv(2, netsim.HostIP(0), nil))
+		must(a.Shell.Engine.OpenSend(2, netsim.HostIP(1), netsim.HostMAC(1), 2, 0,
+			func() { failed = true }))
+		h := metrics.NewHistogram()
+		delivered := 0
+		payload := make([]byte, 512)
+		n := msgs
+		if loss == 1.0 {
+			n = 4
+		}
+		var send func(i int)
+		send = func(i int) {
+			if i >= n {
+				return
+			}
+			t0 := cloud.Sim.Now()
+			err := a.Shell.Engine.SendMessage(2, payload, func() {
+				h.Observe(int64(cloud.Sim.Now() - t0))
+				delivered++
+			})
+			if err != nil {
+				return
+			}
+			cloud.Sim.Schedule(30*Microsecond, func() { send(i + 1) })
+		}
+		cloud.Sim.Schedule(0, func() { send(0) })
+		cloud.Run(sim.Time(n)*60*Microsecond + 10*Millisecond)
+
+		eng := a.Shell.Engine
+		t.AddRow(fmt.Sprintf("%.1f%%", loss*100),
+			fmt.Sprintf("%d/%d", delivered, n),
+			sim.Time(int64(h.Mean())).String(),
+			sim.Time(h.Percentile(99)).String(),
+			eng.Stats.Timeouts.Value(),
+			eng.Stats.NacksRecv.Value(),
+			failed)
+	}
+	return t
+}

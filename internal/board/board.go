@@ -1,0 +1,167 @@
+// Package board models the accelerator card of §II (Figs. 2-3): an Altera
+// Stratix V D5 with one 4 GB DDR3-1600 channel, two PCIe Gen3 x8
+// connections, two 40 GbE interfaces, and configuration flash — packed
+// into a half-height half-length slot with a 35 W electrical limit, a
+// 32 W single-card TDP, and 70 °C inlet air at 160 lfm.
+//
+// The power model reproduces the power-virus experiment: "a power virus
+// that exercises nearly all of the FPGA's interfaces, logic, and DSP
+// blocks — while running the card in a thermal chamber operating in
+// worst-case conditions ... the card consumes 29.2 W of power."
+package board
+
+import (
+	"math"
+
+	"repro/internal/metrics"
+)
+
+// Limits from §II.
+const (
+	TDPWatts        = 32.0 // thermal design power for one card per server
+	MaxElectricalW  = 35.0 // slot electrical limit
+	InletWorstCaseC = 70.0 // worst-case inlet air temperature
+	AirflowWorstLFM = 160  // minimum airflow (failed-fan condition)
+)
+
+// Block is one power consumer on the card.
+type Block struct {
+	Name string
+	// StaticW is leakage + bias power at the reference junction
+	// temperature (85 °C, worst case).
+	StaticW float64
+	// DynamicW is switching power at activity 1.0.
+	DynamicW float64
+}
+
+// Blocks returns the card's power breakdown. Dynamic components sum with
+// worst-case static power to the measured 29.2 W under the power virus.
+func Blocks() []Block {
+	return []Block{
+		{"FPGA core logic (172.6K ALMs)", 1.40, 11.0},
+		{"FPGA DSP blocks", 0.12, 2.1},
+		{"40G MAC/PHY + transceivers x2", 0.50, 4.1},
+		{"DDR3-1600 4GB + controller I/O", 0.42, 2.9},
+		{"PCIe Gen3 x8 x2", 0.30, 1.8},
+		{"Flash, USB, microcontroller", 0.12, 0.3},
+		{"Voltage regulation loss", 0.54, 2.2},
+	}
+}
+
+// Activity is a per-block activity vector in [0,1], keyed by block name.
+type Activity map[string]float64
+
+// PowerVirus returns the activity vector that "exercises nearly all of
+// the FPGA's interfaces, logic, and DSP blocks".
+func PowerVirus() Activity {
+	a := Activity{}
+	for _, b := range Blocks() {
+		a[b.Name] = 1.0
+	}
+	return a
+}
+
+// Idle returns a quiescent vector (golden image, bridge passing no load).
+func Idle() Activity {
+	a := Activity{}
+	for _, b := range Blocks() {
+		a[b.Name] = 0.05
+	}
+	a["40G MAC/PHY + transceivers x2"] = 0.3 // links stay trained
+	return a
+}
+
+// Conditions describes the thermal environment.
+type Conditions struct {
+	InletC     float64
+	AirflowLFM float64
+}
+
+// WorstCase returns the thermal-chamber conditions of the §II experiment.
+func WorstCase() Conditions {
+	return Conditions{InletC: InletWorstCaseC, AirflowLFM: AirflowWorstLFM}
+}
+
+// Nominal returns ordinary datacenter conditions.
+func Nominal() Conditions {
+	return Conditions{InletC: 35, AirflowLFM: 300}
+}
+
+// thetaJA returns the junction-to-air thermal resistance (°C/W) at the
+// given airflow; resistance falls roughly with the square root of flow.
+func thetaJA(airflowLFM float64) float64 {
+	const base = 0.95 // °C/W at 160 lfm for this heatsink class
+	return base * math.Sqrt(AirflowWorstLFM/airflowLFM)
+}
+
+// leakageScale adjusts static power for junction temperature (reference
+// 85 °C; leakage roughly doubles per ~25 °C).
+func leakageScale(junctionC float64) float64 {
+	return math.Pow(2, (junctionC-85)/25)
+}
+
+// Result is one evaluation of the power/thermal model.
+type Result struct {
+	TotalW    float64
+	StaticW   float64
+	DynamicW  float64
+	JunctionC float64
+	// WithinTDP and WithinElectrical report the §II limits.
+	WithinTDP        bool
+	WithinElectrical bool
+	PerBlockW        map[string]float64
+}
+
+// Evaluate computes card power under an activity vector and environment,
+// iterating the electrothermal feedback (leakage depends on junction
+// temperature, which depends on power) to a fixed point.
+func Evaluate(a Activity, env Conditions) Result {
+	theta := thetaJA(env.AirflowLFM)
+	junction := env.InletC + 20 // initial guess
+	var res Result
+	for iter := 0; iter < 30; iter++ {
+		res = Result{JunctionC: junction, PerBlockW: map[string]float64{}}
+		scale := leakageScale(junction)
+		for _, b := range Blocks() {
+			act := a[b.Name]
+			w := b.StaticW*scale + b.DynamicW*act
+			res.StaticW += b.StaticW * scale
+			res.DynamicW += b.DynamicW * act
+			res.PerBlockW[b.Name] = w
+			res.TotalW += w
+		}
+		next := env.InletC + res.TotalW*theta
+		if next > 125 {
+			next = 125 // silicon thermal-shutdown ceiling
+		}
+		if math.Abs(next-junction) < 0.01 {
+			break
+		}
+		junction = next
+		res.JunctionC = junction
+	}
+	res.WithinTDP = res.TotalW <= TDPWatts
+	res.WithinElectrical = res.TotalW <= MaxElectricalW
+	return res
+}
+
+// Table renders the §II power experiment.
+func Table() *metrics.Table {
+	t := &metrics.Table{
+		Title:   "Sec. II — Card power under the power virus (worst-case thermal chamber)",
+		Headers: []string{"scenario", "power (W)", "junction (C)", "within 32W TDP", "within 35W max"},
+	}
+	for _, row := range []struct {
+		name string
+		a    Activity
+		env  Conditions
+	}{
+		{"power virus, worst case", PowerVirus(), WorstCase()},
+		{"power virus, nominal", PowerVirus(), Nominal()},
+		{"idle, nominal", Idle(), Nominal()},
+	} {
+		r := Evaluate(row.a, row.env)
+		t.AddRow(row.name, r.TotalW, r.JunctionC, r.WithinTDP, r.WithinElectrical)
+	}
+	return t
+}

@@ -1,0 +1,90 @@
+package board
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPowerVirusWorstCase(t *testing.T) {
+	// "the card consumes 29.2W of power, which is well within the 32W TDP
+	// limits ... and below the max electrical power draw limit of 35W."
+	r := Evaluate(PowerVirus(), WorstCase())
+	if math.Abs(r.TotalW-29.2) > 0.5 {
+		t.Errorf("power virus draw = %.2f W, want ~29.2 W", r.TotalW)
+	}
+	if !r.WithinTDP || !r.WithinElectrical {
+		t.Errorf("limits violated: TDP=%v electrical=%v at %.2f W",
+			r.WithinTDP, r.WithinElectrical, r.TotalW)
+	}
+	if r.JunctionC > 105 {
+		t.Errorf("junction %.1f C implausibly hot for a shipping card", r.JunctionC)
+	}
+	if r.JunctionC < WorstCase().InletC {
+		t.Error("junction below inlet temperature")
+	}
+}
+
+func TestIdleWellBelowVirus(t *testing.T) {
+	idle := Evaluate(Idle(), Nominal())
+	virus := Evaluate(PowerVirus(), Nominal())
+	if idle.TotalW >= virus.TotalW/3 {
+		t.Errorf("idle %.1f W not well below virus %.1f W", idle.TotalW, virus.TotalW)
+	}
+}
+
+func TestLeakageRisesWithTemperature(t *testing.T) {
+	cold := Evaluate(PowerVirus(), Conditions{InletC: 20, AirflowLFM: 300})
+	hot := Evaluate(PowerVirus(), WorstCase())
+	if hot.StaticW <= cold.StaticW {
+		t.Errorf("static power did not rise with temperature: %.2f vs %.2f",
+			cold.StaticW, hot.StaticW)
+	}
+	// Dynamic power is temperature-independent in this model.
+	if math.Abs(hot.DynamicW-cold.DynamicW) > 1e-9 {
+		t.Error("dynamic power changed with temperature")
+	}
+}
+
+func TestAirflowHelps(t *testing.T) {
+	slow := Evaluate(PowerVirus(), Conditions{InletC: 50, AirflowLFM: 160})
+	fast := Evaluate(PowerVirus(), Conditions{InletC: 50, AirflowLFM: 640})
+	if fast.JunctionC >= slow.JunctionC {
+		t.Errorf("more airflow did not cool: %.1f vs %.1f", fast.JunctionC, slow.JunctionC)
+	}
+}
+
+func TestPerBlockSumsToTotal(t *testing.T) {
+	r := Evaluate(PowerVirus(), WorstCase())
+	sum := 0.0
+	for _, w := range r.PerBlockW {
+		sum += w
+	}
+	if math.Abs(sum-r.TotalW) > 1e-6 {
+		t.Errorf("per-block sum %.3f != total %.3f", sum, r.TotalW)
+	}
+	if len(r.PerBlockW) != len(Blocks()) {
+		t.Error("missing blocks in breakdown")
+	}
+}
+
+func TestEvaluateConverges(t *testing.T) {
+	// The fixed point must be stable: re-evaluating is idempotent.
+	a := Evaluate(PowerVirus(), WorstCase())
+	b := Evaluate(PowerVirus(), WorstCase())
+	if a.TotalW != b.TotalW || a.JunctionC != b.JunctionC {
+		t.Error("Evaluate is not deterministic")
+	}
+	if math.IsInf(a.TotalW, 0) || math.IsNaN(a.TotalW) {
+		t.Fatal("thermal model diverged")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	out := Table().String()
+	for _, want := range []string{"power virus", "idle", "29.2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Package compressor implements the "Expensive compression" workload of
+// Fig. 1a as a shell role: blocks offloaded over PCIe (or LTL) are
+// DEFLATE-compressed for real (stdlib compress/flate), with a timing
+// model for the hardware pipeline versus software.
+//
+// The economics mirror §VI's crypto/compression discussion: compression
+// is a stable, high-volume infrastructure function — exactly the class
+// of offload the paper expects to live on the acceleration plane (and
+// eventually be hardened).
+package compressor
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+
+	"repro/internal/metrics"
+	"repro/internal/shell"
+	"repro/internal/sim"
+)
+
+// CostModel captures software vs hardware compression costs.
+type CostModel struct {
+	// SwBytesPerSec is a CPU core's DEFLATE throughput (~level 6).
+	SwBytesPerSec float64
+	// FPGABytesPerSec is the pipeline's throughput (bytes in per second).
+	FPGABytesPerSec float64
+	// FPGAFixed covers block setup/drain.
+	FPGAFixed sim.Time
+}
+
+// DefaultCostModel: ~60 MB/s/core software vs a 2.5 GB/s pipeline.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		SwBytesPerSec:   60e6,
+		FPGABytesPerSec: 2.5e9,
+		FPGAFixed:       3 * sim.Microsecond,
+	}
+}
+
+// SoftwareTime returns CPU time to compress n bytes.
+func (cm CostModel) SoftwareTime(n int) sim.Time {
+	return sim.Time(float64(n) / cm.SwBytesPerSec * float64(sim.Second))
+}
+
+// FPGATime returns pipeline time to compress n bytes.
+func (cm CostModel) FPGATime(n int) sim.Time {
+	return cm.FPGAFixed + sim.Time(float64(n)/cm.FPGABytesPerSec*float64(sim.Second))
+}
+
+// CoresSaved reports CPU cores freed by offloading a sustained stream.
+func (cm CostModel) CoresSaved(streamBps float64) float64 {
+	return streamBps / 8 / cm.SwBytesPerSec
+}
+
+// Compress DEFLATEs data (the functional kernel, shared by the software
+// baseline and the role).
+func Compress(data []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.DefaultCompression)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(data); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decompress inflates data.
+func Decompress(data []byte) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(data))
+	defer r.Close()
+	return io.ReadAll(r)
+}
+
+// Role is the compression offload engine.
+type Role struct {
+	sim  *sim.Simulation
+	cost CostModel
+	busy sim.Time
+
+	Blocks   metrics.Counter
+	BytesIn  metrics.Counter
+	BytesOut metrics.Counter
+}
+
+// NewRole builds the role.
+func NewRole(s *sim.Simulation, cost CostModel) *Role {
+	return &Role{sim: s, cost: cost}
+}
+
+// Name implements shell.Role.
+func (r *Role) Name() string { return "deflate" }
+
+// HandleRequest implements shell.Role: compress the payload, respond
+// after the pipeline time (single in-order engine).
+func (r *Role) HandleRequest(src shell.RequestSource, payload []byte, respond func([]byte)) {
+	out, err := Compress(payload)
+	if err != nil {
+		respond(nil)
+		return
+	}
+	service := r.cost.FPGATime(len(payload))
+	now := r.sim.Now()
+	if r.busy < now {
+		r.busy = now
+	}
+	r.busy += service
+	wait := r.busy - now
+	r.sim.Schedule(wait, func() {
+		r.Blocks.Inc()
+		r.BytesIn.Add(uint64(len(payload)))
+		r.BytesOut.Add(uint64(len(out)))
+		respond(out)
+	})
+}
+
+// Ratio reports the cumulative compression ratio (in/out).
+func (r *Role) Ratio() float64 {
+	if r.BytesOut.Value() == 0 {
+		return 0
+	}
+	return float64(r.BytesIn.Value()) / float64(r.BytesOut.Value())
+}
+
+// Table renders the offload economics for a sustained stream.
+func (cm CostModel) Table(streamGbps float64) *metrics.Table {
+	t := &metrics.Table{
+		Title:   fmt.Sprintf("Compression offload at %.0f Gb/s sustained", streamGbps),
+		Headers: []string{"metric", "value"},
+	}
+	t.AddRow("software cores consumed", cm.CoresSaved(streamGbps*1e9))
+	t.AddRow("FPGA pipelines needed", streamGbps*1e9/8/cm.FPGABytesPerSec)
+	t.AddRow("sw latency 64KB block", cm.SoftwareTime(64<<10).String())
+	t.AddRow("fpga latency 64KB block", cm.FPGATime(64<<10).String())
+	return t
+}

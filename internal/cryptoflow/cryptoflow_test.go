@@ -1,0 +1,339 @@
+package cryptoflow
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netsim"
+	"repro/internal/pkt"
+	"repro/internal/shell"
+	"repro/internal/sim"
+)
+
+var testKey = []byte("0123456789abcdef")
+
+func flowAB() FlowKey {
+	return FlowKey{
+		Src: netsim.HostIP(0), Dst: netsim.HostIP(1),
+		SrcPort: 7000, DstPort: 7000,
+	}
+}
+
+// encFrame builds a host-0 -> host-1 UDP frame.
+func encFrame(payload []byte) (*pkt.Frame, []byte) {
+	buf := pkt.EncodeUDP(netsim.HostMAC(0), netsim.HostMAC(1),
+		netsim.HostIP(0), netsim.HostIP(1), 7000, 7000, pkt.ClassBestEffort, 64, 1, payload)
+	f, err := pkt.Decode(buf)
+	if err != nil {
+		panic(err)
+	}
+	return f, buf
+}
+
+func roundTrip(t *testing.T, suite Suite, payload []byte) []byte {
+	t.Helper()
+	enc := NewTap(DefaultCostModel())
+	dec := NewTap(DefaultCostModel())
+	id, err := enc.AddFlow(flowAB(), suite, testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.AddFlowWithID(flowAB(), suite, testKey, id); err != nil {
+		t.Fatal(err)
+	}
+	f, buf := encFrame(payload)
+	cipherBuf, encDelay := enc.Process(shell.HostToNet, buf, f)
+	if cipherBuf == nil {
+		t.Fatal("encrypt consumed frame")
+	}
+	if encDelay <= 0 {
+		t.Error("encryption reported zero pipeline latency")
+	}
+	cf, err := pkt.Decode(cipherBuf)
+	if err != nil {
+		t.Fatalf("ciphertext frame undecodable: %v", err)
+	}
+	if bytes.Contains(cf.Payload, payload) && len(payload) > 4 {
+		t.Error("ciphertext contains plaintext")
+	}
+	plainBuf, _ := dec.Process(shell.NetToHost, cipherBuf, cf)
+	if plainBuf == nil {
+		t.Fatal("decrypt dropped authentic frame")
+	}
+	pf, err := pkt.Decode(plainBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pf.Payload
+}
+
+func TestGCMRoundTrip(t *testing.T) {
+	msg := []byte("transparent wire encryption")
+	if got := roundTrip(t, AESGCM128, msg); !bytes.Equal(got, msg) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestCBCSHA1RoundTrip(t *testing.T) {
+	msg := []byte("legacy suite for backward compatibility")
+	if got := roundTrip(t, AESCBC128SHA1, msg); !bytes.Equal(got, msg) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestRoundTripVariousSizes(t *testing.T) {
+	for _, n := range []int{0, 1, 15, 16, 17, 256, 1000, 1400} {
+		payload := make([]byte, n)
+		for i := range payload {
+			payload[i] = byte(i * 3)
+		}
+		for _, s := range []Suite{AESGCM128, AESCBC128SHA1} {
+			if got := roundTrip(t, s, payload); !bytes.Equal(got, payload) {
+				t.Fatalf("%v size %d: corrupted", s, n)
+			}
+		}
+	}
+}
+
+func TestNonFlowTrafficPassesClear(t *testing.T) {
+	tap := NewTap(DefaultCostModel())
+	tap.AddFlow(flowAB(), AESGCM128, testKey)
+	// Different destination port: not in the flow table.
+	buf := pkt.EncodeUDP(netsim.HostMAC(0), netsim.HostMAC(1),
+		netsim.HostIP(0), netsim.HostIP(1), 9, 9, pkt.ClassBestEffort, 64, 1, []byte("clear"))
+	f, _ := pkt.Decode(buf)
+	out, delay := tap.Process(shell.HostToNet, buf, f)
+	if &out[0] != &buf[0] || delay != 0 {
+		t.Fatal("non-flow traffic was modified or delayed")
+	}
+	if tap.Stats.PassedClear.Value() != 1 {
+		t.Error("PassedClear not counted")
+	}
+}
+
+func TestTamperDetected(t *testing.T) {
+	for _, suite := range []Suite{AESGCM128, AESCBC128SHA1} {
+		enc := NewTap(DefaultCostModel())
+		dec := NewTap(DefaultCostModel())
+		id, _ := enc.AddFlow(flowAB(), suite, testKey)
+		dec.AddFlowWithID(flowAB(), suite, testKey, id)
+		f, buf := encFrame([]byte("integrity matters"))
+		cipherBuf, _ := enc.Process(shell.HostToNet, buf, f)
+		// Flip one ciphertext bit (past headers).
+		cipherBuf[len(cipherBuf)-5] ^= 0x40
+		cf, err := pkt.Decode(cipherBuf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, _ := dec.Process(shell.NetToHost, cipherBuf, cf)
+		if out != nil {
+			t.Fatalf("%v: tampered frame delivered", suite)
+		}
+		if dec.Stats.AuthFailures.Value() != 1 {
+			t.Errorf("%v: auth failure not counted", suite)
+		}
+	}
+}
+
+func TestWrongKeyRejected(t *testing.T) {
+	enc := NewTap(DefaultCostModel())
+	dec := NewTap(DefaultCostModel())
+	id, _ := enc.AddFlow(flowAB(), AESGCM128, testKey)
+	dec.AddFlowWithID(flowAB(), AESGCM128, []byte("fedcba9876543210"), id)
+	f, buf := encFrame([]byte("secret"))
+	cipherBuf, _ := enc.Process(shell.HostToNet, buf, f)
+	cf, _ := pkt.Decode(cipherBuf)
+	if out, _ := dec.Process(shell.NetToHost, cipherBuf, cf); out != nil {
+		t.Fatal("wrong key decrypted successfully")
+	}
+}
+
+func TestBadKeyLength(t *testing.T) {
+	tap := NewTap(DefaultCostModel())
+	if _, err := tap.AddFlow(flowAB(), AESGCM128, []byte("short")); err == nil {
+		t.Fatal("expected error for bad key length")
+	}
+}
+
+func TestRemoveFlow(t *testing.T) {
+	tap := NewTap(DefaultCostModel())
+	tap.AddFlow(flowAB(), AESGCM128, testKey)
+	if tap.Flows() != 1 {
+		t.Fatal("flow not installed")
+	}
+	tap.RemoveFlow(flowAB())
+	if tap.Flows() != 0 {
+		t.Fatal("flow not removed")
+	}
+	f, buf := encFrame([]byte("now clear"))
+	out, _ := tap.Process(shell.HostToNet, buf, f)
+	if &out[0] != &buf[0] {
+		t.Fatal("removed flow still encrypting")
+	}
+}
+
+func TestUniqueNoncesAcrossPackets(t *testing.T) {
+	enc := NewTap(DefaultCostModel())
+	enc.AddFlow(flowAB(), AESGCM128, testKey)
+	seen := map[string]bool{}
+	for i := 0; i < 50; i++ {
+		f, buf := encFrame([]byte("same plaintext"))
+		out, _ := enc.Process(shell.HostToNet, buf, f)
+		of, _ := pkt.Decode(out)
+		ct := string(of.Payload)
+		if seen[ct] {
+			t.Fatal("identical ciphertext for repeated plaintext (nonce reuse)")
+		}
+		seen[ct] = true
+	}
+}
+
+// Property: both suites round-trip arbitrary payloads through the taps.
+func TestPropertyRoundTrip(t *testing.T) {
+	enc := NewTap(DefaultCostModel())
+	dec := NewTap(DefaultCostModel())
+	id, _ := enc.AddFlow(flowAB(), AESCBC128SHA1, testKey)
+	dec.AddFlowWithID(flowAB(), AESCBC128SHA1, testKey, id)
+	f := func(payload []byte) bool {
+		if len(payload) > 1300 {
+			payload = payload[:1300]
+		}
+		fr, buf := encFrame(payload)
+		cbuf, _ := enc.Process(shell.HostToNet, buf, fr)
+		cf, err := pkt.Decode(cbuf)
+		if err != nil {
+			return false
+		}
+		pbuf, _ := dec.Process(shell.NetToHost, cbuf, cf)
+		if pbuf == nil {
+			return false
+		}
+		pf, err := pkt.Decode(pbuf)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(pf.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(61))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ---- Cost model calibration against §IV ----
+
+func TestSoftwareCoreCounts(t *testing.T) {
+	cm := DefaultCostModel()
+	// "40 Gb/s encryption/decryption consumes roughly five cores" (GCM).
+	gcm := cm.SoftwareCores(AESGCM128, 40e9, true)
+	if gcm < 4.5 || gcm > 6 {
+		t.Errorf("GCM cores = %.2f, want ~5", gcm)
+	}
+	// "AES-CBC-128-SHA1 ... consumes at least fifteen cores to achieve
+	// 40 Gb/s full duplex."
+	cbc := cm.SoftwareCores(AESCBC128SHA1, 40e9, true)
+	if cbc < 14 || cbc > 17 {
+		t.Errorf("CBC-SHA1 cores = %.2f, want ~15", cbc)
+	}
+}
+
+func TestLatencyCalibration(t *testing.T) {
+	cm := DefaultCostModel()
+	// "The worst case half-duplex FPGA crypto latency for
+	// AES-CBC-128-SHA1 is 11 µs for a 1500B packet."
+	fpga := cm.FPGALatency(AESCBC128SHA1, 1500)
+	if math.Abs(fpga.Micros()-11) > 1.5 {
+		t.Errorf("FPGA CBC-SHA1 latency = %v, want ~11us", fpga)
+	}
+	// "In software, based on the Intel numbers, it is approximately 4 µs."
+	sw := cm.SoftwareLatency(AESCBC128SHA1, 1500)
+	if math.Abs(sw.Micros()-4) > 0.7 {
+		t.Errorf("software CBC-SHA1 latency = %v, want ~4us", sw)
+	}
+	// "GCM latency numbers are significantly better for FPGA."
+	gcmF := cm.FPGALatency(AESGCM128, 1500)
+	if gcmF >= fpga/5 {
+		t.Errorf("FPGA GCM latency %v not significantly better than CBC %v", gcmF, fpga)
+	}
+}
+
+func TestCostTableRendering(t *testing.T) {
+	out := DefaultCostModel().CostTable().String()
+	for _, want := range []string{"AES-GCM-128", "AES-CBC-128-SHA1", "40Gb/s"} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Errorf("cost table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// ---- End-to-end through shells on the fabric ----
+
+func TestEndToEndTransparentEncryption(t *testing.T) {
+	s := sim.New(1)
+	shells := map[int]*shell.Shell{}
+	taps := map[int]*Tap{}
+	cfg := netsim.DefaultConfig()
+	cfg.HostsPerTOR = 4
+	cfg.TORsPerPod = 2
+	cfg.Pods = 1
+	cfg.Interposer = func(dc *netsim.Datacenter, hostID int) netsim.Interposer {
+		sh := shell.New(dc.Sim, hostID, netsim.DefaultPortConfig(), shell.DefaultConfig())
+		tap := NewTap(DefaultCostModel())
+		sh.AddTap(tap)
+		shells[hostID] = sh
+		taps[hostID] = tap
+		return sh
+	}
+	dc := netsim.NewDatacenter(s, cfg)
+	h0, h1 := dc.Host(0), dc.Host(1)
+
+	// Software "sets up" the flow on both FPGAs.
+	id, err := taps[0].AddFlow(flowAB(), AESCBC128SHA1, testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := taps[1].AddFlowWithID(flowAB(), AESCBC128SHA1, testKey, id); err != nil {
+		t.Fatal(err)
+	}
+
+	// Snoop ciphertext at the receiving shell with an observer tap
+	// appended after decryption? Order matters: install the observer on
+	// the wire by checking the sender tap stats instead.
+	var got []byte
+	var arrivedAt sim.Time
+	h1.RegisterUDP(7000, func(f *pkt.Frame) {
+		got = append([]byte(nil), f.Payload...)
+		arrivedAt = s.Now()
+	})
+	msg := []byte("end to end transparent")
+	h0.SendUDP(h1.IP(), 7000, 7000, pkt.ClassBestEffort, msg)
+	s.RunFor(10 * sim.Millisecond)
+
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("endpoint saw %q, want plaintext", got)
+	}
+	if taps[0].Stats.Encrypted.Value() != 1 || taps[1].Stats.Decrypted.Value() != 1 {
+		t.Errorf("enc/dec counters: %d/%d",
+			taps[0].Stats.Encrypted.Value(), taps[1].Stats.Decrypted.Value())
+	}
+	// The crypto pipeline latency must show up in delivery time: well
+	// above the plain bridge path but bounded.
+	if arrivedAt < 2*sim.Microsecond {
+		t.Errorf("delivery at %v too fast for CBC pipeline", arrivedAt)
+	}
+}
+
+func TestKeyFetchOnFirstPacketOnly(t *testing.T) {
+	tap := NewTap(DefaultCostModel())
+	tap.AddFlow(flowAB(), AESGCM128, testKey)
+	f, buf := encFrame([]byte("first"))
+	_, d1 := tap.Process(shell.HostToNet, buf, f)
+	f2, buf2 := encFrame([]byte("second"))
+	_, d2 := tap.Process(shell.HostToNet, buf2, f2)
+	// The first packet pays the DRAM key fetch; later packets hit SRAM.
+	if d1-d2 != DefaultCostModel().DRAMKeyFetch {
+		t.Fatalf("key-fetch delta = %v, want %v", d1-d2, DefaultCostModel().DRAMKeyFetch)
+	}
+}

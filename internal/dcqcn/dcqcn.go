@@ -1,0 +1,192 @@
+// Package dcqcn implements the DC-QCN end-to-end congestion control
+// scheme (Zhu et al., SIGCOMM 2015) that the paper's LTL engine adopts
+// (§V-A): switches ECN-mark packets as queues build, the notification
+// point (receiver) converts marks into paced Congestion Notification
+// Packets (CNPs), and the reaction point (sender) multiplicatively
+// decreases its sending rate on CNP arrival and recovers through fast
+// recovery, additive increase, and hyper increase stages.
+package dcqcn
+
+import (
+	"repro/internal/sim"
+)
+
+// Config holds the DCQCN constants. Defaults follow the published
+// parameterization scaled to a 40 Gb/s line rate.
+type Config struct {
+	LineRateBps int64
+	MinRateBps  int64
+	// G is the alpha EWMA gain (1/256 in the paper).
+	G float64
+	// AlphaTimer is the interval without CNPs after which alpha decays.
+	AlphaTimer sim.Time
+	// IncreaseTimer drives rate-increase stages.
+	IncreaseTimer sim.Time
+	// FastRecoverySteps is the number of increase events spent in fast
+	// recovery before additive increase begins.
+	FastRecoverySteps int
+	// AIRateBps is the additive increase step.
+	AIRateBps int64
+	// HyperAIRateBps is the hyper increase step after prolonged calm.
+	HyperAIRateBps int64
+	// HyperThreshold is the number of consecutive additive stages before
+	// hyper increase engages.
+	HyperThreshold int
+	// CNPInterval is the notification point's minimum gap between CNPs
+	// for one flow.
+	CNPInterval sim.Time
+}
+
+// DefaultConfig returns DCQCN constants for a 40 Gb/s port.
+func DefaultConfig() Config {
+	return Config{
+		LineRateBps:       40e9,
+		MinRateBps:        10e6,
+		G:                 1.0 / 256,
+		AlphaTimer:        55 * sim.Microsecond,
+		IncreaseTimer:     300 * sim.Microsecond,
+		FastRecoverySteps: 5,
+		AIRateBps:         40e6,
+		HyperAIRateBps:    400e6,
+		HyperThreshold:    5,
+		CNPInterval:       50 * sim.Microsecond,
+	}
+}
+
+// ReactionPoint is the sender-side rate controller for one flow.
+type ReactionPoint struct {
+	cfg Config
+	s   *sim.Simulation
+
+	rc, rt     int64 // current and target rate, bps
+	alpha      float64
+	stage      int // increase events since last CNP
+	lastCNP    sim.Time
+	alphaTick  *sim.Ticker
+	incTick    *sim.Ticker
+	cnpsSeen   uint64
+	decreases  uint64
+	stopped    bool
+	sawCNPOnce bool
+}
+
+// NewReactionPoint starts a reaction point at full line rate. Its
+// alpha-decay and rate-increase timers stay dormant until the first CNP
+// arrives: an uncongested flow costs no simulation events.
+func NewReactionPoint(s *sim.Simulation, cfg Config) *ReactionPoint {
+	return &ReactionPoint{
+		cfg: cfg, s: s,
+		rc: cfg.LineRateBps, rt: cfg.LineRateBps,
+		alpha: 1,
+	}
+}
+
+// armTimers starts the periodic state machines (idempotent).
+func (rp *ReactionPoint) armTimers() {
+	if rp.stopped || rp.alphaTick != nil {
+		return
+	}
+	rp.alphaTick = rp.s.Every(rp.cfg.AlphaTimer, rp.cfg.AlphaTimer, rp.alphaUpdate)
+	rp.incTick = rp.s.Every(rp.cfg.IncreaseTimer, rp.cfg.IncreaseTimer, rp.increase)
+}
+
+// Stop cancels the controller's timers.
+func (rp *ReactionPoint) Stop() {
+	rp.stopped = true
+	if rp.alphaTick != nil {
+		rp.alphaTick.Stop()
+		rp.incTick.Stop()
+	}
+}
+
+// Rate returns the current permitted sending rate in bits per second.
+func (rp *ReactionPoint) Rate() int64 { return rp.rc }
+
+// CNPs returns how many congestion notifications have been processed.
+func (rp *ReactionPoint) CNPs() uint64 { return rp.cnpsSeen }
+
+// OnCNP applies the multiplicative decrease for one received CNP.
+func (rp *ReactionPoint) OnCNP() {
+	rp.armTimers()
+	rp.cnpsSeen++
+	rp.decreases++
+	rp.sawCNPOnce = true
+	rp.lastCNP = rp.s.Now()
+	rp.rt = rp.rc
+	rp.alpha = (1-rp.cfg.G)*rp.alpha + rp.cfg.G
+	rp.rc = int64(float64(rp.rc) * (1 - rp.alpha/2))
+	if rp.rc < rp.cfg.MinRateBps {
+		rp.rc = rp.cfg.MinRateBps
+	}
+	rp.stage = 0
+}
+
+// alphaUpdate decays alpha when no CNP arrived in the last window.
+func (rp *ReactionPoint) alphaUpdate() {
+	if rp.s.Now()-rp.lastCNP >= rp.cfg.AlphaTimer {
+		rp.alpha = (1 - rp.cfg.G) * rp.alpha
+	}
+}
+
+// disarmTimers quiesces the periodic state machines once the flow is back
+// at line rate; a future CNP re-arms them.
+func (rp *ReactionPoint) disarmTimers() {
+	if rp.alphaTick != nil {
+		rp.alphaTick.Stop()
+		rp.incTick.Stop()
+		rp.alphaTick, rp.incTick = nil, nil
+	}
+}
+
+// increase advances the recovery state machine one stage.
+func (rp *ReactionPoint) increase() {
+	if !rp.sawCNPOnce || rp.rc >= rp.cfg.LineRateBps {
+		rp.disarmTimers()
+		return
+	}
+	rp.stage++
+	switch {
+	case rp.stage <= rp.cfg.FastRecoverySteps:
+		// Fast recovery: halve the distance to the target rate.
+	case rp.stage <= rp.cfg.FastRecoverySteps+rp.cfg.HyperThreshold:
+		rp.rt += rp.cfg.AIRateBps
+	default:
+		rp.rt += rp.cfg.HyperAIRateBps
+	}
+	if rp.rt > rp.cfg.LineRateBps {
+		rp.rt = rp.cfg.LineRateBps
+	}
+	rp.rc = (rp.rc + rp.rt) / 2
+	if rp.rc > rp.cfg.LineRateBps {
+		rp.rc = rp.cfg.LineRateBps
+	}
+}
+
+// NotificationPoint is the receiver-side CNP pacer: at most one CNP per
+// flow per CNPInterval, regardless of how many marked packets arrive.
+type NotificationPoint struct {
+	cfg     Config
+	s       *sim.Simulation
+	lastCNP map[uint64]sim.Time
+	sent    uint64
+}
+
+// NewNotificationPoint creates a pacer.
+func NewNotificationPoint(s *sim.Simulation, cfg Config) *NotificationPoint {
+	return &NotificationPoint{cfg: cfg, s: s, lastCNP: make(map[uint64]sim.Time)}
+}
+
+// OnMarkedPacket reports an ECN-CE data packet for a flow; it returns true
+// when a CNP should be emitted now.
+func (np *NotificationPoint) OnMarkedPacket(flow uint64) bool {
+	now := np.s.Now()
+	if last, ok := np.lastCNP[flow]; ok && now-last < np.cfg.CNPInterval {
+		return false
+	}
+	np.lastCNP[flow] = now
+	np.sent++
+	return true
+}
+
+// CNPsSent returns the total CNPs the pacer allowed.
+func (np *NotificationPoint) CNPsSent() uint64 { return np.sent }

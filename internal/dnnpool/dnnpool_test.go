@@ -1,0 +1,144 @@
+package dnnpool
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func quickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Clients = 8
+	cfg.FPGAs = 8
+	cfg.Duration = 200 * sim.Millisecond
+	cfg.Warmup = 40 * sim.Millisecond
+	return cfg
+}
+
+func TestKneeCalibration(t *testing.T) {
+	cfg := DefaultConfig()
+	knee := cfg.KneeClientsPerFPGA()
+	// Paper: "each individual FPGA has sufficient throughput to sustain
+	// 22.5 software clients."
+	if knee < 21 || knee > 24 {
+		t.Fatalf("knee = %.1f clients/FPGA, want ~22.5", knee)
+	}
+}
+
+func TestLocalBaseline(t *testing.T) {
+	res := RunLocalBaseline(quickConfig())
+	if res.Completed == 0 {
+		t.Fatal("no requests completed")
+	}
+	// Latency floor: PCIe both ways + service.
+	if res.Avg < 250*sim.Microsecond {
+		t.Fatalf("avg %v below the service time", res.Avg)
+	}
+	if res.Avg > 400*sim.Microsecond {
+		t.Fatalf("avg %v too high for dedicated local accelerators", res.Avg)
+	}
+	if res.P99 < res.P95 || res.P95 < res.Avg/2 {
+		t.Fatal("percentiles not ordered")
+	}
+}
+
+func TestRemotePoolNoOversubscription(t *testing.T) {
+	cfg := quickConfig()
+	base := RunLocalBaseline(cfg)
+	res := RunRemote(cfg)
+	if res.Completed == 0 {
+		t.Fatal("no remote requests completed")
+	}
+	if res.Ratio != 1.0 {
+		t.Fatalf("ratio = %v", res.Ratio)
+	}
+	// "remotely accessing the service adds 1% additional latency to each
+	// request on average" — small average overhead; the tail grows more.
+	avgOver := float64(res.Avg-base.Avg) / float64(base.Avg)
+	if avgOver < 0 || avgOver > 0.15 {
+		t.Errorf("average remote overhead = %.1f%%, want small (paper: ~1%%)", avgOver*100)
+	}
+	p99Over := float64(res.P99-base.P99) / float64(base.P99)
+	if p99Over < avgOver {
+		t.Errorf("p99 overhead (%.1f%%) should exceed average overhead (%.1f%%)",
+			p99Over*100, avgOver*100)
+	}
+	// "The host sees no increase in CPU or memory utilization": zero
+	// frames reach pool host software.
+	if res.PoolHostCPUJobs != 0 {
+		t.Errorf("pool host software saw %d frames, want 0", res.PoolHostCPUJobs)
+	}
+}
+
+func TestOversubscriptionLatencyGrows(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Clients = 12
+	// Ratios 1.5 and 6: both below the knee (22.5) but queueing delay
+	// must grow monotonically with oversubscription.
+	cfg.FPGAs = 8
+	low := RunRemote(cfg)
+	cfg.FPGAs = 2
+	high := RunRemote(cfg)
+	if high.Ratio <= low.Ratio {
+		t.Fatal("ratios not ordered")
+	}
+	if high.P99 <= low.P99 {
+		t.Errorf("p99 did not grow with oversubscription: %v (r=%.1f) vs %v (r=%.1f)",
+			low.P99, low.Ratio, high.P99, high.Ratio)
+	}
+	if high.Completed == 0 || low.Completed == 0 {
+		t.Fatal("requests lost")
+	}
+}
+
+func TestSaturationBeyondKnee(t *testing.T) {
+	if testing.Short() {
+		t.Skip("saturation run is heavy")
+	}
+	cfg := quickConfig()
+	cfg.Clients = 13
+	cfg.FPGAs = 13
+	cfg.ClientRate = 177.8 * 2 // 26 effective clients per FPGA > 22.5 knee
+	cfg.FPGAs = 1
+	cfg.Duration = 250 * sim.Millisecond
+	sat := RunRemote(cfg)
+
+	cfg2 := quickConfig()
+	cfg2.Clients = 13
+	cfg2.FPGAs = 13
+	under := RunRemote(cfg2)
+
+	// Past the knee latencies "spike due to rapidly increasing queue
+	// depths": an order of magnitude, not a few percent.
+	if sat.P99 < 5*under.P99 {
+		t.Errorf("saturated p99 %v vs unloaded %v — expected a prohibitive spike",
+			sat.P99, under.P99)
+	}
+}
+
+func TestFig12Sweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is heavy")
+	}
+	cfg := quickConfig()
+	cfg.Clients = 12
+	base, points := Fig12(cfg, []int{12, 6, 3})
+	if base.Completed == 0 || len(points) != 3 {
+		t.Fatal("sweep incomplete")
+	}
+	// Ratios 1, 2, 4: normalized latency must be nondecreasing in ratio.
+	for i := 1; i < len(points); i++ {
+		if points[i].Ratio <= points[i-1].Ratio {
+			t.Fatal("ratio ordering broken")
+		}
+		if points[i].P99 < points[i-1].P99 {
+			t.Errorf("p99 fell as oversubscription rose: %v -> %v",
+				points[i-1].P99, points[i].P99)
+		}
+	}
+	// At 1:1 the normalized average must be close to 1.0x local.
+	norm := float64(points[0].Avg) / float64(base.Avg)
+	if norm < 1.0 || norm > 1.15 {
+		t.Errorf("1:1 normalized avg = %.3f, want just above 1.0", norm)
+	}
+}

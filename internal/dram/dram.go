@@ -1,0 +1,235 @@
+// Package dram models the accelerator board's memory system: one 4 GB
+// DDR3-1600 channel, 72 bits wide with ECC (Fig. 2), behind the shell's
+// DDR3 memory controller. The model is transaction-level: requests queue
+// at the controller, bank row-buffer locality determines access latency,
+// and the channel's 12.8 GB/s peak bandwidth bounds throughput. Contents
+// are stored sparsely (pages allocate on first write), so a full 4 GB
+// address space costs only what is touched.
+package dram
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Config parameterizes a Controller.
+type Config struct {
+	// CapacityBytes is the channel capacity (4 GB).
+	CapacityBytes int64
+	// PeakBps is the channel bandwidth (DDR3-1600 x 64 data bits =
+	// 12.8 GB/s).
+	PeakBps int64
+	// RowHit/RowMiss are access latencies for open-row hits vs row
+	// conflicts (precharge + activate + CAS).
+	RowHit  sim.Time
+	RowMiss sim.Time
+	// Banks is the bank count (8 for DDR3).
+	Banks int
+	// RowBytes is the row-buffer size per bank.
+	RowBytes int
+	// QueueDepth bounds outstanding requests at the controller.
+	QueueDepth int
+}
+
+// DefaultConfig returns DDR3-1600 parameters.
+func DefaultConfig() Config {
+	return Config{
+		CapacityBytes: 4 << 30,
+		PeakBps:       12800e6,
+		RowHit:        30 * sim.Nanosecond,
+		RowMiss:       60 * sim.Nanosecond,
+		Banks:         8,
+		RowBytes:      8 << 10,
+		QueueDepth:    64,
+	}
+}
+
+// Stats aggregates controller counters.
+type Stats struct {
+	Reads     metrics.Counter
+	Writes    metrics.Counter
+	RowHits   metrics.Counter
+	RowMisses metrics.Counter
+	BytesRead metrics.Counter
+	BytesWrit metrics.Counter
+	Rejected  metrics.Counter // queue-full rejections
+	Latency   *metrics.Histogram
+	ECCFixed  metrics.Counter // correctable errors scrubbed (§II-B)
+}
+
+const pageSize = 4096
+
+// Controller is one DDR3 channel with its memory contents.
+type Controller struct {
+	cfg Config
+	sim *sim.Simulation
+
+	pages   map[int64][]byte
+	openRow []int64 // per bank: currently open row (-1 = none)
+
+	busyUntil sim.Time
+	pending   int
+
+	Stats Stats
+}
+
+// New builds a controller.
+func New(s *sim.Simulation, cfg Config) *Controller {
+	if cfg.Banks <= 0 || cfg.RowBytes <= 0 || cfg.PeakBps <= 0 {
+		panic(fmt.Sprintf("dram: invalid config %+v", cfg))
+	}
+	c := &Controller{cfg: cfg, sim: s, pages: make(map[int64][]byte)}
+	c.openRow = make([]int64, cfg.Banks)
+	for i := range c.openRow {
+		c.openRow[i] = -1
+	}
+	return c
+}
+
+// Pending reports queued requests.
+func (c *Controller) Pending() int { return c.pending }
+
+// access computes the service completion time for n bytes at addr and
+// updates bank state; it returns the total latency for this request.
+func (c *Controller) access(addr int64, n int) sim.Time {
+	if n < 1 {
+		n = 1
+	}
+	row := addr / int64(c.cfg.RowBytes)
+	bank := int(row % int64(c.cfg.Banks))
+	var lat sim.Time
+	if c.openRow[bank] == row {
+		lat = c.cfg.RowHit
+		c.Stats.RowHits.Inc()
+	} else {
+		lat = c.cfg.RowMiss
+		c.Stats.RowMisses.Inc()
+		c.openRow[bank] = row
+	}
+	xfer := sim.Time(int64(n) * int64(sim.Second) / c.cfg.PeakBps)
+	// The channel serializes transfers; latency adds on top.
+	now := c.sim.Now()
+	if c.busyUntil < now {
+		c.busyUntil = now
+	}
+	c.busyUntil += xfer
+	return (c.busyUntil - now) + lat
+}
+
+// checkRange validates [addr, addr+n).
+func (c *Controller) checkRange(addr int64, n int) error {
+	if addr < 0 || n < 0 || addr+int64(n) > c.cfg.CapacityBytes {
+		return fmt.Errorf("dram: access [%d, %d) outside 0..%d", addr, addr+int64(n), c.cfg.CapacityBytes)
+	}
+	return nil
+}
+
+// Write stores data at addr; done (optional) fires when the transaction
+// completes. Returns an error for out-of-range or queue-full conditions.
+func (c *Controller) Write(addr int64, data []byte, done func()) error {
+	if err := c.checkRange(addr, len(data)); err != nil {
+		return err
+	}
+	if c.pending >= c.cfg.QueueDepth {
+		c.Stats.Rejected.Inc()
+		return fmt.Errorf("dram: controller queue full")
+	}
+	c.pending++
+	c.Stats.Writes.Inc()
+	c.Stats.BytesWrit.Add(uint64(len(data)))
+	lat := c.access(addr, len(data))
+	start := c.sim.Now()
+	// Contents update at completion time (write buffer semantics are
+	// invisible at this abstraction level because reads also queue).
+	buf := append([]byte(nil), data...)
+	c.sim.Schedule(lat, func() {
+		c.store(addr, buf)
+		c.pending--
+		c.observe(start)
+		if done != nil {
+			done()
+		}
+	})
+	return nil
+}
+
+// Read fetches n bytes at addr; done receives the data at completion.
+func (c *Controller) Read(addr int64, n int, done func(data []byte)) error {
+	if err := c.checkRange(addr, n); err != nil {
+		return err
+	}
+	if c.pending >= c.cfg.QueueDepth {
+		c.Stats.Rejected.Inc()
+		return fmt.Errorf("dram: controller queue full")
+	}
+	c.pending++
+	c.Stats.Reads.Inc()
+	c.Stats.BytesRead.Add(uint64(n))
+	lat := c.access(addr, n)
+	start := c.sim.Now()
+	c.sim.Schedule(lat, func() {
+		data := c.load(addr, n)
+		c.pending--
+		c.observe(start)
+		if done != nil {
+			done(data)
+		}
+	})
+	return nil
+}
+
+func (c *Controller) observe(start sim.Time) {
+	if c.Stats.Latency == nil {
+		c.Stats.Latency = metrics.NewHistogram()
+	}
+	c.Stats.Latency.Observe(int64(c.sim.Now() - start))
+}
+
+// store writes through the sparse page map.
+func (c *Controller) store(addr int64, data []byte) {
+	for len(data) > 0 {
+		page := addr / pageSize
+		off := int(addr % pageSize)
+		p, ok := c.pages[page]
+		if !ok {
+			p = make([]byte, pageSize)
+			c.pages[page] = p
+		}
+		n := copy(p[off:], data)
+		data = data[n:]
+		addr += int64(n)
+	}
+}
+
+// load reads through the sparse page map (unwritten bytes are zero, like
+// initialized DRAM after calibration).
+func (c *Controller) load(addr int64, n int) []byte {
+	out := make([]byte, n)
+	dst := out
+	for len(dst) > 0 {
+		page := addr / pageSize
+		off := int(addr % pageSize)
+		var src []byte
+		if p, ok := c.pages[page]; ok {
+			src = p[off:]
+		} else {
+			src = make([]byte, pageSize-off)
+		}
+		n := copy(dst, src)
+		dst = dst[n:]
+		addr += int64(n)
+	}
+	return out
+}
+
+// InjectECCError simulates a correctable single-bit upset: ECC fixes it
+// transparently and the counter records it (the paper "measured a low
+// number of soft errors, which were all correctable").
+func (c *Controller) InjectECCError() { c.Stats.ECCFixed.Inc() }
+
+// TouchedBytes reports allocated (written) memory.
+func (c *Controller) TouchedBytes() int64 {
+	return int64(len(c.pages)) * pageSize
+}

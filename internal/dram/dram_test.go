@@ -1,0 +1,231 @@
+package dram
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	s := sim.New(1)
+	c := New(s, DefaultConfig())
+	data := []byte("the ranking model weights live here")
+	var got []byte
+	if err := c.Write(1<<20, data, func() {
+		c.Read(1<<20, len(data), func(d []byte) { got = d })
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestUnwrittenReadsZero(t *testing.T) {
+	s := sim.New(1)
+	c := New(s, DefaultConfig())
+	var got []byte
+	c.Read(3<<30, 16, func(d []byte) { got = d })
+	s.Run()
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("uninitialized DRAM not zero")
+		}
+	}
+}
+
+func TestCrossPageWrite(t *testing.T) {
+	s := sim.New(1)
+	c := New(s, DefaultConfig())
+	data := make([]byte, 3*pageSize+100)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	addr := int64(pageSize - 50) // straddle page boundaries
+	var got []byte
+	c.Write(addr, data, func() {
+		c.Read(addr, len(data), func(d []byte) { got = d })
+	})
+	s.Run()
+	if !bytes.Equal(got, data) {
+		t.Fatal("cross-page data corrupted")
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	s := sim.New(1)
+	c := New(s, DefaultConfig())
+	if err := c.Write(c.cfg.CapacityBytes-4, make([]byte, 8), nil); err == nil {
+		t.Error("write past capacity accepted")
+	}
+	if err := c.Read(-1, 4, nil); err == nil {
+		t.Error("negative address accepted")
+	}
+}
+
+func TestRowBufferLocality(t *testing.T) {
+	s := sim.New(1)
+	cfg := DefaultConfig()
+	c := New(s, cfg)
+	// Sequential accesses within a row: first miss, then hits.
+	for i := 0; i < 8; i++ {
+		c.Read(int64(i*64), 64, nil)
+	}
+	s.Run()
+	if c.Stats.RowMisses.Value() != 1 {
+		t.Errorf("row misses = %d, want 1", c.Stats.RowMisses.Value())
+	}
+	if c.Stats.RowHits.Value() != 7 {
+		t.Errorf("row hits = %d, want 7", c.Stats.RowHits.Value())
+	}
+}
+
+func TestRandomAccessesMissMore(t *testing.T) {
+	s := sim.New(2)
+	cfg := DefaultConfig()
+	c := New(s, cfg)
+	rng := s.NewRand()
+	for i := 0; i < 64; i++ {
+		addr := rng.Int63n(cfg.CapacityBytes - 64)
+		c.Read(addr, 64, nil)
+		s.Run() // serialize so queue depth never binds
+	}
+	if c.Stats.RowMisses.Value() < c.Stats.RowHits.Value() {
+		t.Errorf("random access pattern hit rows more than it missed (%d hits, %d misses)",
+			c.Stats.RowHits.Value(), c.Stats.RowMisses.Value())
+	}
+}
+
+func TestBandwidthBound(t *testing.T) {
+	s := sim.New(1)
+	cfg := DefaultConfig()
+	c := New(s, cfg)
+	// 128 MB of reads cannot finish faster than capacity/bandwidth.
+	const total = 128 << 20
+	const chunk = 4 << 20
+	var finished sim.Time
+	issued := 0
+	var issue func()
+	issue = func() {
+		if issued*chunk >= total {
+			finished = s.Now()
+			return
+		}
+		issued++
+		c.Read(int64(issued*chunk), chunk, func([]byte) { issue() })
+	}
+	issue()
+	s.Run()
+	minTime := sim.Time(int64(total) * int64(sim.Second) / cfg.PeakBps)
+	if finished < minTime {
+		t.Fatalf("moved 128MB in %v, below the channel's minimum %v", finished, minTime)
+	}
+	if finished > 2*minTime {
+		t.Fatalf("took %v, far above bandwidth bound %v", finished, minTime)
+	}
+}
+
+func TestQueueDepthRejects(t *testing.T) {
+	s := sim.New(1)
+	cfg := DefaultConfig()
+	cfg.QueueDepth = 4
+	c := New(s, cfg)
+	errs := 0
+	for i := 0; i < 10; i++ {
+		if err := c.Read(int64(i*1024), 1024, nil); err != nil {
+			errs++
+		}
+	}
+	if errs != 6 {
+		t.Fatalf("rejected %d, want 6", errs)
+	}
+	if c.Stats.Rejected.Value() != 6 {
+		t.Errorf("Rejected counter = %d", c.Stats.Rejected.Value())
+	}
+	s.Run()
+	if c.Pending() != 0 {
+		t.Error("queue did not drain")
+	}
+}
+
+func TestLatencyMeasured(t *testing.T) {
+	s := sim.New(1)
+	c := New(s, DefaultConfig())
+	c.Read(0, 64, nil)
+	s.Run()
+	if c.Stats.Latency == nil || c.Stats.Latency.Count() != 1 {
+		t.Fatal("latency not recorded")
+	}
+	if c.Stats.Latency.Min() < int64(DefaultConfig().RowMiss) {
+		t.Error("read faster than a row miss")
+	}
+}
+
+func TestTouchedBytesSparse(t *testing.T) {
+	s := sim.New(1)
+	c := New(s, DefaultConfig())
+	c.Write(0, make([]byte, 100), nil)
+	c.Write(1<<30, make([]byte, 100), nil)
+	s.Run()
+	if got := c.TouchedBytes(); got != 2*pageSize {
+		t.Fatalf("touched %d bytes, want 2 pages", got)
+	}
+}
+
+func TestECCCounter(t *testing.T) {
+	s := sim.New(1)
+	c := New(s, DefaultConfig())
+	c.InjectECCError()
+	if c.Stats.ECCFixed.Value() != 1 {
+		t.Fatal("ECC counter broken")
+	}
+}
+
+// Property: arbitrary interleaved writes then reads observe exactly what
+// was written (last-writer-wins at byte granularity given serialized
+// completion order).
+func TestPropertyMemoryConsistency(t *testing.T) {
+	type op struct {
+		Addr uint32
+		Data []byte
+	}
+	f := func(ops []op) bool {
+		s := sim.New(3)
+		c := New(s, DefaultConfig())
+		shadow := map[int64]byte{}
+		for _, o := range ops {
+			if len(o.Data) == 0 {
+				continue
+			}
+			if len(o.Data) > 4096 {
+				o.Data = o.Data[:4096]
+			}
+			addr := int64(o.Addr)
+			if err := c.Write(addr, o.Data, nil); err != nil {
+				continue
+			}
+			s.Run() // serialize
+			for i, b := range o.Data {
+				shadow[addr+int64(i)] = b
+			}
+		}
+		ok := true
+		for addr, want := range shadow {
+			addr, want := addr, want
+			c.Read(addr, 1, func(d []byte) {
+				if d[0] != want {
+					ok = false
+				}
+			})
+			s.Run()
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(71))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,409 @@
+// Package er implements the Elastic Router (paper §V-B): an on-chip,
+// input-buffered crossbar switch connecting endpoints on an FPGA (Roles,
+// PCIe DMA, DRAM, and the LTL engine) across multiple virtual channels.
+//
+// The model is flit-level and event-driven: messages are segmented into
+// flits, input ports buffer flits per VC, a switch allocator moves at most
+// one flit per input and one flit per output per router clock cycle, and
+// credit-based flow control (one credit per flit) governs every hop.
+// The signature "elastic" policy shares one pool of input-buffer credits
+// among all VCs of a port instead of statically partitioning it, which
+// the paper reports reduces aggregate buffering requirements — package
+// benchmarks quantify that claim (BenchmarkAblationElasticCredits).
+//
+// Routers are fully parameterized in port count, VC count, flit size and
+// buffer capacity, and can be composed into larger on-chip topologies
+// (rings, meshes) with Connect. U-turns (input i -> output i) are
+// supported.
+package er
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Flit is the unit of switching and flow control.
+type Flit struct {
+	Head, Tail bool
+	VC         int
+	// DstNode is the global destination endpoint; each router's Route
+	// function maps it to a local output port.
+	DstNode int
+	// SrcNode is the global source endpoint (for reassembly bookkeeping).
+	SrcNode int
+	// Data is this flit's slice of the message payload.
+	Data []byte
+	// MsgID disambiguates interleaved messages during reassembly.
+	MsgID uint64
+}
+
+// Link is the receiving side of an attachment: something that can accept
+// flits from a router output and that returns credits to the sender out of
+// band.
+type Link interface {
+	// AcceptFlit delivers a flit into the attachment's input buffer. The
+	// sender only calls it while holding a credit for f.VC.
+	AcceptFlit(f *Flit)
+	// InitialCredits reports the attachment's per-VC input buffering in
+	// flits (the credits the sender starts with). Ignored when
+	// SharedCredits returns nonzero.
+	InitialCredits(vc int) int
+	// SharedCredits, when nonzero, declares the attachment's input buffer
+	// a single elastic pool of that many flits shared by all VCs.
+	SharedCredits() int
+}
+
+// Config parameterizes a Router ("fully parameterized in the number of
+// ports, virtual channels, flit and phit sizes, and buffer capacities").
+type Config struct {
+	Name  string
+	Ports int
+	VCs   int
+	// FlitBytes is the flit payload capacity. 32 bytes at the default
+	// clock gives a 40 Gb/s datapath (256 bit x 156.25 MHz).
+	FlitBytes int
+	// BufFlits is each input port's total buffering in flits.
+	BufFlits int
+	// Elastic selects the shared credit pool; false statically partitions
+	// BufFlits/VCs per VC (the conventional policy the paper improves on).
+	Elastic bool
+	// ClockPeriod is one router cycle (default 6.4ns, 156.25 MHz per Fig. 5).
+	ClockPeriod sim.Time
+	// Route maps a destination node to a local output port (-1 to drop).
+	Route func(dstNode int) int
+}
+
+// DefaultConfig returns the paper's example single-role instantiation:
+// 4 ports (PCIe DMA, Role, DRAM, Remote/LTL), 2 VCs.
+func DefaultConfig() Config {
+	return Config{
+		Name:        "er",
+		Ports:       4,
+		VCs:         2,
+		FlitBytes:   32,
+		BufFlits:    64,
+		Elastic:     true,
+		ClockPeriod: 6 * sim.Nanosecond, // ~156.25 MHz ER clock (Fig. 5)
+	}
+}
+
+// Standard port assignments for the single-role deployment (§V-B).
+const (
+	PortPCIe   = 0
+	PortRole   = 1
+	PortDRAM   = 2
+	PortRemote = 3
+)
+
+// Stats aggregates router counters.
+type Stats struct {
+	FlitsSwitched metrics.Counter
+	MsgsDelivered metrics.Counter
+	StallNoCredit metrics.Counter // output stalled awaiting downstream credit
+	StallConflict metrics.Counter // lost switch arbitration this cycle
+	BufOccupancy  metrics.Gauge   // flits buffered across all inputs
+	Cycles        metrics.Counter // active arbitration cycles
+}
+
+// inputVC is one VC's FIFO at one input port.
+type inputVC struct {
+	fifo []*Flit
+	// boundOut is the output port this VC's in-progress packet is routed
+	// to, or -1 between packets (wormhole state).
+	boundOut int
+}
+
+type inputPort struct {
+	vcs []inputVC
+	// used counts flits buffered across VCs (for the elastic pool).
+	used int
+	// creditReturn is invoked when a flit leaves this input.
+	creditReturn func(vc int)
+}
+
+type outputPort struct {
+	peer Link
+	// credits available per downstream VC (static downstream buffers).
+	credits []int
+	// shared holds the elastic pool credit when the downstream buffer is
+	// shared across VCs; sharedMode selects which accounting applies.
+	shared     int
+	sharedMode bool
+	// owner[vc] is the (input, vc) pair whose packet currently owns this
+	// output VC, or nil.
+	owner []*ownerRef
+	// rr is the round-robin arbitration pointer.
+	rr int
+}
+
+// hasCredit reports whether a flit on vc may be sent downstream.
+func (o *outputPort) hasCredit(vc int) bool {
+	if o.sharedMode {
+		return o.shared > 0
+	}
+	return o.credits[vc] > 0
+}
+
+// takeCredit consumes one downstream credit for vc.
+func (o *outputPort) takeCredit(vc int) {
+	if o.sharedMode {
+		o.shared--
+	} else {
+		o.credits[vc]--
+	}
+}
+
+// giveCredit returns one downstream credit for vc.
+func (o *outputPort) giveCredit(vc int) {
+	if o.sharedMode {
+		o.shared++
+	} else {
+		o.credits[vc]++
+	}
+}
+
+type ownerRef struct{ in, vc int }
+
+// Router is an Elastic Router instance.
+type Router struct {
+	cfg Config
+	sim *sim.Simulation
+
+	inputs  []*inputPort
+	outputs []*outputPort
+
+	ticking bool
+	Stats   Stats
+}
+
+// New constructs a router. Attach endpoints with Attach (or Connect for
+// router-to-router links) before injecting traffic.
+func New(s *sim.Simulation, cfg Config) *Router {
+	if cfg.Ports <= 0 || cfg.VCs <= 0 || cfg.FlitBytes <= 0 || cfg.BufFlits < cfg.VCs {
+		panic(fmt.Sprintf("er: invalid config %+v", cfg))
+	}
+	if cfg.ClockPeriod <= 0 {
+		cfg.ClockPeriod = DefaultConfig().ClockPeriod
+	}
+	r := &Router{cfg: cfg, sim: s}
+	for i := 0; i < cfg.Ports; i++ {
+		in := &inputPort{vcs: make([]inputVC, cfg.VCs)}
+		for v := range in.vcs {
+			in.vcs[v].boundOut = -1
+		}
+		r.inputs = append(r.inputs, in)
+		out := &outputPort{
+			credits: make([]int, cfg.VCs),
+			owner:   make([]*ownerRef, cfg.VCs),
+		}
+		r.outputs = append(r.outputs, out)
+	}
+	return r
+}
+
+// Config returns the router's configuration.
+func (r *Router) Config() Config { return r.cfg }
+
+// Attach wires attachment peer to the output side of port, and registers
+// creditReturn to be invoked when flits injected at that port's input are
+// switched (freeing buffer space for the injector).
+func (r *Router) Attach(port int, peer Link, creditReturn func(vc int)) {
+	out := r.outputs[port]
+	out.peer = peer
+	if pool := peer.SharedCredits(); pool > 0 {
+		out.sharedMode = true
+		out.shared = pool
+	} else {
+		for v := 0; v < r.cfg.VCs; v++ {
+			out.credits[v] = peer.InitialCredits(v)
+		}
+	}
+	r.inputs[port].creditReturn = creditReturn
+}
+
+// InitialCredits implements Link for router-to-router composition: the
+// per-VC credit a sender into this router starts with when buffers are
+// statically partitioned.
+func (r *Router) InitialCredits(vc int) int {
+	return r.cfg.BufFlits / r.cfg.VCs
+}
+
+// SharedCredits implements Link: an elastic router advertises its whole
+// input buffer as a shared pool.
+func (r *Router) SharedCredits() int {
+	if r.cfg.Elastic {
+		return r.cfg.BufFlits
+	}
+	return 0
+}
+
+// vcCapacity returns how many flits VC v at an input may hold right now.
+func (r *Router) vcCapacity(in *inputPort, vc int) int {
+	if r.cfg.Elastic {
+		return r.cfg.BufFlits - in.used + len(in.vcs[vc].fifo)
+	}
+	return r.cfg.BufFlits / r.cfg.VCs
+}
+
+// Inject places a flit into input port's VC buffer. Callers must respect
+// credits (Terminal and Connect do); violations panic, because hardware
+// credit underflow is a design bug, not load.
+func (r *Router) Inject(port int, f *Flit) {
+	in := r.inputs[port]
+	if f.VC < 0 || f.VC >= r.cfg.VCs {
+		panic(fmt.Sprintf("er: flit VC %d out of range", f.VC))
+	}
+	if len(in.vcs[f.VC].fifo) >= r.vcCapacity(in, f.VC) {
+		panic(fmt.Sprintf("er %s: input %d vc %d buffer overflow (credit protocol violated)",
+			r.cfg.Name, port, f.VC))
+	}
+	in.vcs[f.VC].fifo = append(in.vcs[f.VC].fifo, f)
+	in.used++
+	r.Stats.BufOccupancy.Add(1)
+	r.wake()
+}
+
+// ReturnCredit gives an output-side credit back for (port, vc); called by
+// downstream attachments as they drain.
+func (r *Router) ReturnCredit(port, vc int) {
+	r.outputs[port].giveCredit(vc)
+	r.wake()
+}
+
+// wake arms the cycle loop if idle.
+func (r *Router) wake() {
+	if r.ticking {
+		return
+	}
+	r.ticking = true
+	r.sim.Schedule(r.cfg.ClockPeriod, r.tick)
+}
+
+// tick performs one switch-allocation cycle: for every output port, pick
+// at most one eligible (input, VC) head flit by round-robin; honor one
+// flit per input per cycle; transmit winners and return input credits.
+func (r *Router) tick() {
+	r.ticking = false
+	r.Stats.Cycles.Inc()
+	inputUsed := make([]bool, r.cfg.Ports)
+	work := false
+
+	for o, out := range r.outputs {
+		if out.peer == nil {
+			continue
+		}
+		type cand struct{ in, vc int }
+		var cands []cand
+		for i, in := range r.inputs {
+			for v := range in.vcs {
+				ivc := &in.vcs[v]
+				if len(ivc.fifo) == 0 {
+					continue
+				}
+				work = true
+				head := ivc.fifo[0]
+				dst := ivc.boundOut
+				if dst == -1 {
+					if !head.Head {
+						panic("er: body flit with no route binding")
+					}
+					if r.cfg.Route != nil {
+						dst = r.cfg.Route(head.DstNode)
+					} else {
+						dst = head.DstNode
+					}
+				}
+				if dst != o {
+					continue
+				}
+				if inputUsed[i] {
+					r.Stats.StallConflict.Inc()
+					continue
+				}
+				// VC allocation: a head flit needs the output VC free or
+				// already owned by us; body flits require ownership.
+				owner := out.owner[head.VC]
+				if head.Head {
+					if owner != nil && !(owner.in == i && owner.vc == v) {
+						r.Stats.StallConflict.Inc()
+						continue
+					}
+				} else if owner == nil || owner.in != i || owner.vc != v {
+					continue
+				}
+				if !out.hasCredit(head.VC) {
+					r.Stats.StallNoCredit.Inc()
+					continue
+				}
+				cands = append(cands, cand{i, v})
+			}
+		}
+		if len(cands) == 0 {
+			continue
+		}
+		// Round-robin among candidates.
+		pick := cands[0]
+		for _, c := range cands {
+			if c.in >= out.rr {
+				pick = c
+				break
+			}
+		}
+		out.rr = (pick.in + 1) % r.cfg.Ports
+
+		in := r.inputs[pick.in]
+		ivc := &in.vcs[pick.vc]
+		head := ivc.fifo[0]
+		ivc.fifo = ivc.fifo[1:]
+		in.used--
+		r.Stats.BufOccupancy.Add(-1)
+		inputUsed[pick.in] = true
+
+		if head.Head {
+			if r.cfg.Route != nil {
+				ivc.boundOut = r.cfg.Route(head.DstNode)
+			} else {
+				ivc.boundOut = head.DstNode
+			}
+			out.owner[head.VC] = &ownerRef{pick.in, pick.vc}
+		}
+		if head.Tail {
+			ivc.boundOut = -1
+			out.owner[head.VC] = nil
+		}
+
+		out.takeCredit(head.VC)
+		r.Stats.FlitsSwitched.Inc()
+		if in.creditReturn != nil {
+			in.creditReturn(pick.vc)
+		}
+		peer := out.peer
+		f := head
+		// One cycle of link traversal to the attachment.
+		r.sim.Schedule(r.cfg.ClockPeriod, func() { peer.AcceptFlit(f) })
+	}
+
+	// Keep ticking while any input holds flits.
+	if work {
+		r.wake()
+	}
+}
+
+// Connect links router a's port pa to router b's port pb bidirectionally
+// for composing on-chip topologies (e.g. rings, 2-D meshes).
+func Connect(a *Router, pa int, b *Router, pb int) {
+	a.Attach(pa, &routerLink{r: b, port: pb}, func(vc int) { b.ReturnCredit(pb, vc) })
+	b.Attach(pb, &routerLink{r: a, port: pa}, func(vc int) { a.ReturnCredit(pa, vc) })
+}
+
+// routerLink adapts a Router input as a Link target.
+type routerLink struct {
+	r    *Router
+	port int
+}
+
+func (l *routerLink) AcceptFlit(f *Flit)       { l.r.Inject(l.port, f) }
+func (l *routerLink) InitialCredits(v int) int { return l.r.InitialCredits(v) }
+func (l *routerLink) SharedCredits() int       { return l.r.SharedCredits() }

@@ -1,0 +1,175 @@
+package er
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Message is a reassembled Elastic Router message.
+type Message struct {
+	SrcNode, DstNode int
+	VC               int
+	Payload          []byte
+}
+
+// Terminal is an endpoint attached to one router port: it segments
+// outgoing messages into flits (respecting the router's credits) and
+// reassembles incoming flits back into messages, returning credits as it
+// drains. It models a role, PCIe DMA engine, DRAM port, or the LTL
+// engine's ER-facing side.
+type Terminal struct {
+	Node int // global endpoint id
+
+	sim    *sim.Simulation
+	router *Router
+	port   int
+
+	// RecvBufFlits is the terminal's advertised input buffering.
+	RecvBufFlits int
+	// OnMessage is invoked for each fully reassembled message.
+	OnMessage func(m *Message)
+
+	// sendCredits tracks per-VC credit toward the router input.
+	sendCredits []int
+	sendShared  int
+	sharedMode  bool
+	// sendq holds flits awaiting credits, per VC.
+	sendq [][]*Flit
+
+	// reassembly state per (src, vc, msgID).
+	partial map[partialKey]*Message
+
+	nextMsgID uint64
+}
+
+type partialKey struct {
+	src, vc int
+	msgID   uint64
+}
+
+// NewTerminal creates a terminal and attaches it to router port. node is
+// the terminal's global endpoint id (what other endpoints address).
+func NewTerminal(s *sim.Simulation, router *Router, port, node, recvBufFlits int) *Terminal {
+	t := &Terminal{
+		Node: node, sim: s, router: router, port: port,
+		RecvBufFlits: recvBufFlits,
+		partial:      make(map[partialKey]*Message),
+		sendq:        make([][]*Flit, router.cfg.VCs),
+	}
+	if router.cfg.Elastic {
+		t.sharedMode = true
+		t.sendShared = router.SharedCredits()
+	} else {
+		t.sendCredits = make([]int, router.cfg.VCs)
+		for v := range t.sendCredits {
+			t.sendCredits[v] = router.InitialCredits(v)
+		}
+	}
+	router.Attach(port, t, t.onCredit)
+	return t
+}
+
+// InitialCredits implements Link.
+func (t *Terminal) InitialCredits(vc int) int { return t.RecvBufFlits / t.router.cfg.VCs }
+
+// SharedCredits implements Link: terminals use static receive buffers (the
+// interesting elasticity is inside the router).
+func (t *Terminal) SharedCredits() int { return 0 }
+
+// onCredit is called as the router drains flits we injected.
+func (t *Terminal) onCredit(vc int) {
+	if t.sharedMode {
+		t.sendShared++
+	} else {
+		t.sendCredits[vc]++
+	}
+	t.pump()
+}
+
+// Send segments payload into flits on vc addressed to dstNode and injects
+// them as credits permit. Zero-length payloads occupy a single flit.
+func (t *Terminal) Send(dstNode, vc int, payload []byte) {
+	if vc < 0 || vc >= t.router.cfg.VCs {
+		panic(fmt.Sprintf("er: send on invalid vc %d", vc))
+	}
+	t.nextMsgID++
+	fb := t.router.cfg.FlitBytes
+	n := (len(payload) + fb - 1) / fb
+	if n == 0 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		lo := i * fb
+		hi := lo + fb
+		if hi > len(payload) {
+			hi = len(payload)
+		}
+		f := &Flit{
+			Head: i == 0, Tail: i == n-1, VC: vc,
+			SrcNode: t.Node, DstNode: dstNode,
+			Data:  payload[lo:hi],
+			MsgID: t.nextMsgID,
+		}
+		t.sendq[vc] = append(t.sendq[vc], f)
+	}
+	t.pump()
+}
+
+// pump injects queued flits while credits last.
+func (t *Terminal) pump() {
+	for vc := range t.sendq {
+		for len(t.sendq[vc]) > 0 {
+			if t.sharedMode {
+				if t.sendShared <= 0 {
+					break
+				}
+				t.sendShared--
+			} else {
+				if t.sendCredits[vc] <= 0 {
+					break
+				}
+				t.sendCredits[vc]--
+			}
+			f := t.sendq[vc][0]
+			t.sendq[vc] = t.sendq[vc][1:]
+			t.router.Inject(t.port, f)
+		}
+	}
+}
+
+// AcceptFlit implements Link: reassemble and return the credit after one
+// cycle of drain latency.
+func (t *Terminal) AcceptFlit(f *Flit) {
+	key := partialKey{f.SrcNode, f.VC, f.MsgID}
+	m, ok := t.partial[key]
+	if !ok {
+		if !f.Head {
+			panic("er: terminal received body flit with no head")
+		}
+		m = &Message{SrcNode: f.SrcNode, DstNode: f.DstNode, VC: f.VC}
+		t.partial[key] = m
+	}
+	m.Payload = append(m.Payload, f.Data...)
+	if f.Tail {
+		delete(t.partial, key)
+		t.router.Stats.MsgsDelivered.Inc()
+		if t.OnMessage != nil {
+			msg := m
+			t.sim.Schedule(0, func() { t.OnMessage(msg) })
+		}
+	}
+	// Model an always-draining endpoint: the credit returns after one
+	// router cycle.
+	vc := f.VC
+	t.sim.Schedule(t.router.cfg.ClockPeriod, func() { t.router.ReturnCredit(t.port, vc) })
+}
+
+// PendingSend reports flits queued awaiting credits (for tests).
+func (t *Terminal) PendingSend() int {
+	n := 0
+	for _, q := range t.sendq {
+		n += len(q)
+	}
+	return n
+}

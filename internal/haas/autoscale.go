@@ -1,0 +1,95 @@
+package haas
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// AutoScaler implements the paper's elastic pool management: "As demand
+// for a service grows or shrinks, a global manager grows or shrinks the
+// pools correspondingly." It polls a load signal (utilization of the
+// service's current component, 0..1) and resizes the SM's lease to keep
+// utilization inside a target band.
+type AutoScaler struct {
+	sm  *ServiceManager
+	cfg AutoScaleConfig
+
+	load func() float64
+	tick *sim.Ticker
+
+	Grown     metrics.Counter
+	Shrunk    metrics.Counter
+	Saturated metrics.Counter // wanted to grow but the pool was empty
+}
+
+// AutoScaleConfig bounds the controller.
+type AutoScaleConfig struct {
+	Min, Max int
+	// GrowAt/ShrinkAt are the utilization thresholds.
+	GrowAt   float64
+	ShrinkAt float64
+	// Step is the resize increment.
+	Step int
+	// Interval is the control period.
+	Interval sim.Time
+	// Constraints applies to every lease.
+	Constraints Constraints
+}
+
+// DefaultAutoScaleConfig returns a conservative band controller.
+func DefaultAutoScaleConfig() AutoScaleConfig {
+	return AutoScaleConfig{
+		Min: 1, Max: 64,
+		GrowAt: 0.75, ShrinkAt: 0.30,
+		Step:        1,
+		Interval:    500 * sim.Millisecond,
+		Constraints: Constraints{Pod: -1},
+	}
+}
+
+// NewAutoScaler starts scaling sm based on load (called each interval;
+// must return current utilization in [0,1]).
+func NewAutoScaler(s *sim.Simulation, sm *ServiceManager, cfg AutoScaleConfig, load func() float64) *AutoScaler {
+	as := &AutoScaler{sm: sm, cfg: cfg, load: load}
+	as.tick = s.Every(cfg.Interval, cfg.Interval, as.control)
+	return as
+}
+
+// Stop halts the controller.
+func (as *AutoScaler) Stop() { as.tick.Stop() }
+
+// Size reports the service's current FPGA count.
+func (as *AutoScaler) Size() int { return len(as.sm.Members()) }
+
+func (as *AutoScaler) control() {
+	cur := as.Size()
+	if cur == 0 {
+		if err := as.sm.Scale(as.cfg.Min, as.cfg.Constraints); err != nil {
+			as.Saturated.Inc()
+		}
+		return
+	}
+	u := as.load()
+	switch {
+	case u > as.cfg.GrowAt && cur < as.cfg.Max:
+		want := cur + as.cfg.Step
+		if want > as.cfg.Max {
+			want = as.cfg.Max
+		}
+		if err := as.sm.Scale(want, as.cfg.Constraints); err != nil {
+			as.Saturated.Inc()
+			// Re-acquire the previous size so the service keeps running.
+			_ = as.sm.Scale(cur, as.cfg.Constraints)
+			return
+		}
+		as.Grown.Inc()
+	case u < as.cfg.ShrinkAt && cur > as.cfg.Min:
+		want := cur - as.cfg.Step
+		if want < as.cfg.Min {
+			want = as.cfg.Min
+		}
+		if err := as.sm.Scale(want, as.cfg.Constraints); err == nil {
+			as.Shrunk.Inc()
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package haas
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestAutoScalerGrowsUnderLoad(t *testing.T) {
+	s := sim.New(1)
+	rm, _, _ := testbed(s, 16, 16)
+	sm := NewServiceManager(s, rm, "dnn", "dnn-v1")
+	if err := sm.Scale(2, Constraints{Pod: -1}); err != nil {
+		t.Fatal(err)
+	}
+	util := 0.95 // saturated
+	cfg := DefaultAutoScaleConfig()
+	cfg.Interval = 100 * sim.Millisecond
+	as := NewAutoScaler(s, sm, cfg, func() float64 { return util })
+
+	s.RunFor(sim.Second)
+	grown := as.Size()
+	if grown <= 2 {
+		t.Fatalf("pool did not grow under load: %d", grown)
+	}
+	if as.Grown.Value() == 0 {
+		t.Error("grow counter not incremented")
+	}
+
+	// Load disappears: the pool shrinks back toward Min, releasing FPGAs
+	// for other services.
+	util = 0.05
+	s.RunFor(3 * sim.Second)
+	if as.Size() >= grown {
+		t.Fatalf("pool did not shrink after load dropped: %d", as.Size())
+	}
+	if as.Size() < cfg.Min {
+		t.Fatalf("shrank below Min: %d", as.Size())
+	}
+	as.Stop()
+	rm.Stop()
+}
+
+func TestAutoScalerRespectsMax(t *testing.T) {
+	s := sim.New(1)
+	rm, _, _ := testbed(s, 32, 32)
+	sm := NewServiceManager(s, rm, "svc", "x")
+	sm.Scale(1, Constraints{Pod: -1})
+	cfg := DefaultAutoScaleConfig()
+	cfg.Max = 4
+	cfg.Interval = 50 * sim.Millisecond
+	as := NewAutoScaler(s, sm, cfg, func() float64 { return 1.0 })
+	s.RunFor(2 * sim.Second)
+	if as.Size() != 4 {
+		t.Fatalf("size %d, want Max 4", as.Size())
+	}
+	as.Stop()
+	rm.Stop()
+}
+
+func TestAutoScalerSaturatedPool(t *testing.T) {
+	s := sim.New(1)
+	rm, _, _ := testbed(s, 3, 3)
+	sm := NewServiceManager(s, rm, "svc", "x")
+	sm.Scale(3, Constraints{Pod: -1}) // takes the whole pool
+	cfg := DefaultAutoScaleConfig()
+	cfg.Interval = 50 * sim.Millisecond
+	as := NewAutoScaler(s, sm, cfg, func() float64 { return 1.0 })
+	s.RunFor(sim.Second)
+	if as.Saturated.Value() == 0 {
+		t.Fatal("saturation never detected")
+	}
+	// The service must keep its capacity despite failed grow attempts.
+	if as.Size() != 3 {
+		t.Fatalf("size %d after saturated grow attempts, want 3", as.Size())
+	}
+	as.Stop()
+	rm.Stop()
+}
+
+func TestAutoScalerStableInBand(t *testing.T) {
+	s := sim.New(1)
+	rm, _, _ := testbed(s, 16, 16)
+	sm := NewServiceManager(s, rm, "svc", "x")
+	sm.Scale(4, Constraints{Pod: -1})
+	cfg := DefaultAutoScaleConfig()
+	cfg.Interval = 50 * sim.Millisecond
+	as := NewAutoScaler(s, sm, cfg, func() float64 { return 0.5 }) // in band
+	s.RunFor(2 * sim.Second)
+	if as.Size() != 4 || as.Grown.Value() != 0 || as.Shrunk.Value() != 0 {
+		t.Fatalf("in-band controller acted: size=%d grown=%d shrunk=%d",
+			as.Size(), as.Grown.Value(), as.Shrunk.Value())
+	}
+	as.Stop()
+	rm.Stop()
+}

@@ -1,0 +1,102 @@
+// Package host models the server-side compute resources of a datacenter
+// node: a multi-core CPU with a FIFO run queue of jobs. Ranking and crypto
+// experiments use it to model the software portion of request processing
+// (the part that "saturates the host server before the FPGA is
+// saturated", §III-A).
+package host
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// CPU is a k-server FIFO queue: up to Cores jobs run concurrently; others
+// wait in arrival order.
+type CPU struct {
+	sim   *sim.Simulation
+	cores int
+	busy  int
+	queue []*job
+
+	// Stats
+	Completed metrics.Counter
+	QueueLen  metrics.Gauge
+	QueueWait *metrics.Histogram // ns spent waiting for a core
+	BusyTime  sim.Time           // integrated core-busy time (for utilization)
+	lastTick  sim.Time
+}
+
+type job struct {
+	dur     sim.Time
+	done    func()
+	arrived sim.Time
+}
+
+// NewCPU builds a CPU with the given core count.
+func NewCPU(s *sim.Simulation, cores int) *CPU {
+	if cores <= 0 {
+		panic("host: cores must be positive")
+	}
+	return &CPU{sim: s, cores: cores, QueueWait: metrics.NewHistogram()}
+}
+
+// Cores returns the core count.
+func (c *CPU) Cores() int { return c.cores }
+
+// Busy returns how many cores are currently occupied.
+func (c *CPU) Busy() int { return c.busy }
+
+// Queued returns the number of jobs waiting for a core.
+func (c *CPU) Queued() int { return len(c.queue) }
+
+// Submit enqueues a job of the given duration; done (optional) fires when
+// the job finishes executing.
+func (c *CPU) Submit(dur sim.Time, done func()) {
+	if dur < 0 {
+		dur = 0
+	}
+	j := &job{dur: dur, done: done, arrived: c.sim.Now()}
+	c.accrue()
+	if c.busy < c.cores {
+		c.start(j)
+		return
+	}
+	c.queue = append(c.queue, j)
+	c.QueueLen.Set(int64(len(c.queue)))
+}
+
+func (c *CPU) start(j *job) {
+	c.busy++
+	c.QueueWait.Observe(int64(c.sim.Now() - j.arrived))
+	c.sim.Schedule(j.dur, func() {
+		c.accrue()
+		c.busy--
+		c.Completed.Inc()
+		if j.done != nil {
+			j.done()
+		}
+		if len(c.queue) > 0 {
+			next := c.queue[0]
+			c.queue = c.queue[1:]
+			c.QueueLen.Set(int64(len(c.queue)))
+			c.start(next)
+		}
+	})
+}
+
+// accrue integrates busy-core time for utilization accounting.
+func (c *CPU) accrue() {
+	now := c.sim.Now()
+	c.BusyTime += sim.Time(c.busy) * (now - c.lastTick)
+	c.lastTick = now
+}
+
+// Utilization returns mean core utilization in [0,1] since the start of
+// the simulation.
+func (c *CPU) Utilization() float64 {
+	c.accrue()
+	if c.sim.Now() == 0 {
+		return 0
+	}
+	return float64(c.BusyTime) / float64(sim.Time(c.cores)*c.sim.Now())
+}

@@ -1,0 +1,98 @@
+package host
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSingleCoreFIFO(t *testing.T) {
+	s := sim.New(1)
+	c := NewCPU(s, 1)
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		c.Submit(10*sim.Microsecond, func() { order = append(order, i) })
+	}
+	if c.Busy() != 1 || c.Queued() != 2 {
+		t.Fatalf("busy=%d queued=%d", c.Busy(), c.Queued())
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+	if s.Now() != 30*sim.Microsecond {
+		t.Errorf("3 serial 10us jobs finished at %v", s.Now())
+	}
+}
+
+func TestParallelismAcrossCores(t *testing.T) {
+	s := sim.New(1)
+	c := NewCPU(s, 4)
+	n := 0
+	for i := 0; i < 4; i++ {
+		c.Submit(10*sim.Microsecond, func() { n++ })
+	}
+	s.Run()
+	if s.Now() != 10*sim.Microsecond {
+		t.Fatalf("4 jobs on 4 cores took %v, want 10us", s.Now())
+	}
+	if n != 4 || c.Completed.Value() != 4 {
+		t.Fatalf("completed %d", n)
+	}
+}
+
+func TestQueueWaitMeasured(t *testing.T) {
+	s := sim.New(1)
+	c := NewCPU(s, 1)
+	c.Submit(100*sim.Microsecond, nil)
+	c.Submit(100*sim.Microsecond, nil)
+	s.Run()
+	if got := c.QueueWait.Max(); got != int64(100*sim.Microsecond) {
+		t.Fatalf("max queue wait = %d, want 100us", got)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	s := sim.New(1)
+	c := NewCPU(s, 2)
+	c.Submit(sim.Millisecond, nil)
+	s.RunUntil(2 * sim.Millisecond)
+	// One core busy for 1ms out of 2 cores x 2ms = 25%.
+	u := c.Utilization()
+	if u < 0.24 || u > 0.26 {
+		t.Fatalf("utilization = %v, want 0.25", u)
+	}
+}
+
+func TestZeroDurationJob(t *testing.T) {
+	s := sim.New(1)
+	c := NewCPU(s, 1)
+	ran := false
+	c.Submit(0, func() { ran = true })
+	s.Run()
+	if !ran {
+		t.Fatal("zero-duration job never completed")
+	}
+}
+
+func TestNegativeDurationClamped(t *testing.T) {
+	s := sim.New(1)
+	c := NewCPU(s, 1)
+	c.Submit(-5, nil)
+	s.Run()
+	if c.Completed.Value() != 1 {
+		t.Fatal("negative-duration job lost")
+	}
+}
+
+func TestInvalidCoresPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCPU(sim.New(1), 0)
+}

@@ -1,0 +1,150 @@
+package ltl
+
+import (
+	"testing"
+
+	"repro/internal/pkt"
+	"repro/internal/sim"
+)
+
+func TestDialHandshake(t *testing.T) {
+	s := sim.New(1)
+	a, b, _, wb := pair(s, DefaultConfig(), sim.Microsecond)
+	var got []byte
+	b.Listen(func(remote pkt.IP, vc uint8) func([]byte) {
+		return func(p []byte) { got = append([]byte(nil), p...) }
+	})
+	var dialErr error
+	dialed := false
+	if err := a.Dial(5, wb.ip, wb.mac, 0, func(err error) {
+		dialed = true
+		dialErr = err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(sim.Millisecond)
+	if !dialed || dialErr != nil {
+		t.Fatalf("dial: done=%v err=%v", dialed, dialErr)
+	}
+	if err := a.SendMessage(5, []byte("dialed dynamically"), nil); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(sim.Millisecond)
+	if string(got) != "dialed dynamically" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestDialRefusedByAcceptor(t *testing.T) {
+	s := sim.New(1)
+	a, b, _, wb := pair(s, DefaultConfig(), sim.Microsecond)
+	b.Listen(func(remote pkt.IP, vc uint8) func([]byte) { return nil }) // refuse
+	var dialErr error
+	a.Dial(5, wb.ip, wb.mac, 0, func(err error) { dialErr = err })
+	s.RunFor(10 * sim.Millisecond)
+	if dialErr == nil {
+		t.Fatal("refused dial should time out with an error")
+	}
+}
+
+func TestDialNoListener(t *testing.T) {
+	s := sim.New(1)
+	a, _, _, wb := pair(s, DefaultConfig(), sim.Microsecond)
+	var dialErr error
+	a.Dial(5, wb.ip, wb.mac, 0, func(err error) { dialErr = err })
+	s.RunFor(10 * sim.Millisecond)
+	if dialErr == nil {
+		t.Fatal("dial to engine without Listen should fail")
+	}
+}
+
+func TestDialDuplicateIDs(t *testing.T) {
+	s := sim.New(1)
+	a, b, _, wb := pair(s, DefaultConfig(), sim.Microsecond)
+	b.Listen(func(pkt.IP, uint8) func([]byte) { return func([]byte) {} })
+	if err := a.Dial(5, wb.ip, wb.mac, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Dial(5, wb.ip, wb.mac, 0, nil); err == nil {
+		t.Fatal("duplicate in-flight dial accepted")
+	}
+	s.RunFor(sim.Millisecond)
+	// Now the slot is a live send connection.
+	if err := a.Dial(5, wb.ip, wb.mac, 0, nil); err == nil {
+		t.Fatal("dial over allocated send connection accepted")
+	}
+}
+
+func TestDynamicConnectionsGetDistinctSlots(t *testing.T) {
+	s := sim.New(1)
+	a, b, _, wb := pair(s, DefaultConfig(), sim.Microsecond)
+	recvCount := map[int]int{}
+	next := 0
+	b.Listen(func(pkt.IP, uint8) func([]byte) {
+		idx := next
+		next++
+		return func(p []byte) { recvCount[idx]++ }
+	})
+	for i := uint16(1); i <= 3; i++ {
+		i := i
+		a.Dial(i, wb.ip, wb.mac, 0, func(err error) {
+			if err != nil {
+				t.Errorf("dial %d: %v", i, err)
+			}
+		})
+	}
+	s.RunFor(sim.Millisecond)
+	for i := uint16(1); i <= 3; i++ {
+		a.SendMessage(i, []byte{byte(i)}, nil)
+	}
+	s.RunFor(sim.Millisecond)
+	if len(recvCount) != 3 {
+		t.Fatalf("handlers hit: %v, want 3 distinct", recvCount)
+	}
+	for idx, n := range recvCount {
+		if n != 1 {
+			t.Errorf("handler %d hit %d times", idx, n)
+		}
+	}
+}
+
+func TestTeardownFreesBothSides(t *testing.T) {
+	s := sim.New(1)
+	a, b, _, wb := pair(s, DefaultConfig(), sim.Microsecond)
+	b.Listen(func(pkt.IP, uint8) func([]byte) { return func([]byte) {} })
+	a.Dial(5, wb.ip, wb.mac, 0, nil)
+	s.RunFor(sim.Millisecond)
+	before := len(b.recv)
+	a.Teardown(5)
+	s.RunFor(sim.Millisecond)
+	if len(b.recv) != before-1 {
+		t.Fatalf("remote recv table %d -> %d, want freed", before, len(b.recv))
+	}
+	if err := a.SendMessage(5, []byte("x"), nil); err == nil {
+		t.Fatal("send after teardown should fail")
+	}
+	// The slot is reusable.
+	if err := a.Dial(5, wb.ip, wb.mac, 0, nil); err != nil {
+		t.Fatalf("re-dial after teardown: %v", err)
+	}
+}
+
+func TestDialSurvivesSetupLoss(t *testing.T) {
+	// SETUP frames are not retransmitted in this implementation; a lost
+	// SETUP must surface as a timeout error, not a hang.
+	s := sim.New(1)
+	cfg := DefaultConfig()
+	a, b, wa, wb := pair(s, cfg, sim.Microsecond)
+	b.Listen(func(pkt.IP, uint8) func([]byte) { return func([]byte) {} })
+	wa.drop = func(n int, f *pkt.Frame) bool {
+		h, _, err := pkt.DecodeLTL(f.Payload)
+		return err == nil && h.Type == pkt.LTLSetup
+	}
+	var dialErr error
+	fired := false
+	a.Dial(5, wb.ip, wb.mac, 0, func(err error) { fired = true; dialErr = err })
+	s.RunFor(cfg.RetransmitTimeout * sim.Time(cfg.MaxRetries+2))
+	if !fired || dialErr == nil {
+		t.Fatalf("lost SETUP: fired=%v err=%v", fired, dialErr)
+	}
+}

@@ -1,0 +1,146 @@
+package multifpga
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/shell"
+	"repro/internal/sim"
+)
+
+func buildGroup(t *testing.T, s *sim.Simulation, workers int, work Stage) (*Group, map[int]*shell.Shell) {
+	t.Helper()
+	dc, shells := bed(s)
+	dc.Host(0)
+	ws := make([]*shell.Shell, workers)
+	for i := 0; i < workers; i++ {
+		dc.Host(i + 1)
+		ws[i] = shells[i+1]
+	}
+	g, err := NewGroup(s, shells[0], ws, work, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, shells
+}
+
+func TestScatterGather(t *testing.T) {
+	s := sim.New(1)
+	g, _ := buildGroup(t, s, 4, Stage{
+		Name: "layer", Service: 10 * sim.Microsecond, Transform: upper,
+	})
+	payload := []byte("abcdefghijklmnop") // 16 bytes over 4 workers
+	var parts [][]byte
+	var at sim.Time
+	g.Scatter(payload, func(p [][]byte) {
+		parts = p
+		at = s.Now()
+	})
+	s.RunFor(10 * sim.Millisecond)
+	if len(parts) != 4 {
+		t.Fatalf("gathered %d parts", len(parts))
+	}
+	joined := bytes.Join(parts, nil)
+	if string(joined) != "ABCDEFGHIJKLMNOP" {
+		t.Fatalf("reassembled %q", joined)
+	}
+	// Workers run in parallel: total must cover one service time plus
+	// network, not 4x.
+	if at < 10*sim.Microsecond || at > 40*sim.Microsecond {
+		t.Errorf("scatter/gather latency %v", at)
+	}
+	if g.Completed.Value() != 1 {
+		t.Error("completion not counted")
+	}
+}
+
+func TestScatterParallelSpeedup(t *testing.T) {
+	// The same total work across 1 vs 4 workers: the group must finish
+	// faster with more workers (model parallelism).
+	run := func(workers int) sim.Time {
+		s := sim.New(1)
+		// Engine time scales with shard bytes (10 ns/B): the same 4 KiB
+		// request costs 40 us on one FPGA but ~10 us/shard on four.
+		g, _ := buildGroup(t, s, workers, Stage{
+			Name: "layer", ServicePerByte: 10 * sim.Nanosecond,
+		})
+		var done sim.Time
+		left := 8
+		for i := 0; i < 8; i++ {
+			g.Scatter(make([]byte, 4096), func([][]byte) {
+				left--
+				if left == 0 {
+					done = s.Now()
+				}
+			})
+		}
+		s.RunFor(50 * sim.Millisecond)
+		if left != 0 {
+			t.Fatalf("workers=%d: %d gathers missing", workers, left)
+		}
+		return done
+	}
+	one := run(1)
+	four := run(4)
+	// 8 back-to-back 40us requests serialize on one FPGA (~320us); four
+	// workers split each request into parallel 10us shards (~80us+net).
+	if float64(four) > float64(one)*0.45 {
+		t.Errorf("model parallelism speedup missing: 1w=%v 4w=%v", one, four)
+	}
+}
+
+func TestScatterUnevenPayload(t *testing.T) {
+	s := sim.New(1)
+	g, _ := buildGroup(t, s, 3, Stage{Name: "id", Service: sim.Microsecond})
+	payload := []byte("ABCDEFG") // 7 bytes over 3 workers: 3+3+1
+	var joined []byte
+	g.Scatter(payload, func(p [][]byte) { joined = bytes.Join(p, nil) })
+	s.RunFor(sim.Millisecond)
+	if !bytes.Equal(joined, payload) {
+		t.Fatalf("uneven scatter reassembled %q", joined)
+	}
+}
+
+func TestScatterEmptyShards(t *testing.T) {
+	s := sim.New(1)
+	g, _ := buildGroup(t, s, 4, Stage{Name: "id", Service: sim.Microsecond})
+	payload := []byte("ab") // workers 2,3 get empty shards
+	n := 0
+	g.Scatter(payload, func(p [][]byte) {
+		n++
+		if string(bytes.Join(p, nil)) != "ab" {
+			t.Errorf("parts %q", p)
+		}
+	})
+	s.RunFor(sim.Millisecond)
+	if n != 1 {
+		t.Fatal("gather with empty shards never completed")
+	}
+}
+
+func TestMultipleScattersInterleave(t *testing.T) {
+	s := sim.New(1)
+	g, _ := buildGroup(t, s, 2, Stage{Name: "id", Service: 5 * sim.Microsecond})
+	results := map[string]bool{}
+	for i := 0; i < 10; i++ {
+		payload := bytes.Repeat([]byte{byte('a' + i)}, 8)
+		g.Scatter(payload, func(p [][]byte) { results[string(bytes.Join(p, nil))] = true })
+	}
+	s.RunFor(10 * sim.Millisecond)
+	if len(results) != 10 {
+		t.Fatalf("completed %d/10 scatters", len(results))
+	}
+	for i := 0; i < 10; i++ {
+		want := string(bytes.Repeat([]byte{byte('a' + i)}, 8))
+		if !results[want] {
+			t.Fatalf("missing gather %q", want)
+		}
+	}
+}
+
+func TestGroupNeedsWorkers(t *testing.T) {
+	s := sim.New(1)
+	if _, err := NewGroup(s, nil, nil, Stage{}, 1); err == nil {
+		t.Fatal("empty group accepted")
+	}
+}

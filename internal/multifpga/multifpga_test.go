@@ -1,0 +1,206 @@
+package multifpga
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/shell"
+	"repro/internal/sim"
+)
+
+// bed builds a pod-scale fabric with shells on every instantiated host.
+func bed(s *sim.Simulation) (*netsim.Datacenter, map[int]*shell.Shell) {
+	shells := map[int]*shell.Shell{}
+	cfg := netsim.DefaultConfig()
+	cfg.Interposer = func(dc *netsim.Datacenter, hostID int) netsim.Interposer {
+		sh := shell.New(dc.Sim, hostID, netsim.DefaultPortConfig(), shell.DefaultConfig())
+		shells[hostID] = sh
+		return sh
+	}
+	return netsim.NewDatacenter(s, cfg), shells
+}
+
+// upper transforms payloads to upper case (ASCII).
+func upper(p []byte) []byte {
+	out := make([]byte, len(p))
+	for i, b := range p {
+		if b >= 'a' && b <= 'z' {
+			b -= 32
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// suffix appends a tag.
+func suffix(tag string) func([]byte) []byte {
+	return func(p []byte) []byte { return append(append([]byte(nil), p...), []byte(tag)...) }
+}
+
+func threeStage(t *testing.T, s *sim.Simulation) (*Pipeline, *netsim.Datacenter, map[int]*shell.Shell) {
+	t.Helper()
+	dc, shells := bed(s)
+	for _, id := range []int{0, 1, 2, 3, 30} {
+		dc.Host(id)
+	}
+	stages := []Stage{
+		{Name: "filter", Service: 5 * sim.Microsecond, Transform: upper},
+		{Name: "score", Service: 20 * sim.Microsecond, Transform: suffix("|scored")},
+		{Name: "aggregate", Service: 3 * sim.Microsecond, Transform: suffix("|agg")},
+	}
+	p, err := New(s, shells[0], []*shell.Shell{shells[1], shells[2], shells[30]}, stages, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, dc, shells
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	s := sim.New(1)
+	p, _, _ := threeStage(t, s)
+	var got []byte
+	var at sim.Time
+	p.Submit([]byte("query terms"), func(r []byte) {
+		got = r
+		at = s.Now()
+	})
+	s.RunFor(10 * sim.Millisecond)
+	if !bytes.Equal(got, []byte("QUERY TERMS|scored|agg")) {
+		t.Fatalf("result %q", got)
+	}
+	// Latency: 4 LTL hops (3 same-TOR-ish + 1 cross-TOR) + 28us service.
+	if at < 28*sim.Microsecond || at > 120*sim.Microsecond {
+		t.Errorf("pipeline latency %v", at)
+	}
+	if p.Completed.Value() != 1 {
+		t.Error("completion not counted")
+	}
+}
+
+func TestPipelineThroughputPipelining(t *testing.T) {
+	// Stages overlap: N requests finish much sooner than N x sum(stage).
+	s := sim.New(1)
+	p, _, _ := threeStage(t, s)
+	const n = 50
+	done := 0
+	var last sim.Time
+	for i := 0; i < n; i++ {
+		p.Submit([]byte{byte(i)}, func([]byte) {
+			done++
+			last = s.Now()
+		})
+	}
+	s.RunFor(50 * sim.Millisecond)
+	if done != n {
+		t.Fatalf("completed %d/%d", done, n)
+	}
+	// Bottleneck stage is 20us; pipelined completion ~ n*20us + latency,
+	// far below serial n*(28us + network).
+	serial := sim.Time(n) * 100 * sim.Microsecond
+	if last >= serial {
+		t.Errorf("no pipelining: %v >= serial bound %v", last, serial)
+	}
+	if last < sim.Time(n)*20*sim.Microsecond {
+		t.Errorf("faster than the bottleneck stage allows: %v", last)
+	}
+}
+
+func TestPipelineOrderPreserved(t *testing.T) {
+	s := sim.New(1)
+	p, _, _ := threeStage(t, s)
+	var order []byte
+	for i := 0; i < 20; i++ {
+		p.Submit([]byte{byte('a' + i)}, func(r []byte) { order = append(order, r[0]) })
+	}
+	s.RunFor(50 * sim.Millisecond)
+	for i := range order {
+		if order[i] != byte('A'+i) {
+			t.Fatalf("order violated: %q", order)
+		}
+	}
+}
+
+func TestReplaceStageRestoresService(t *testing.T) {
+	s := sim.New(1)
+	p, dc, shells := threeStage(t, s)
+	// Warm traffic through.
+	ok := 0
+	p.Submit([]byte("one"), func([]byte) { ok++ })
+	s.RunFor(sim.Millisecond)
+
+	// Kill stage 1's FPGA and repair onto a fresh node (HaaS would drive
+	// this after LTL timeout-based failure detection).
+	dead := p.StageShell(1)
+	dead.PowerCycle()
+	dc.Host(4)
+	if err := p.ReplaceStage(1, shells[4]); err != nil {
+		t.Fatal(err)
+	}
+	p.Submit([]byte("two"), func([]byte) { ok++ })
+	s.RunFor(10 * sim.Millisecond)
+	if ok != 2 {
+		t.Fatalf("completed %d/2 across the repair", ok)
+	}
+	if p.StageShell(1) != shells[4] {
+		t.Error("stage not rewired")
+	}
+}
+
+func TestReplaceFirstAndLastStage(t *testing.T) {
+	s := sim.New(1)
+	p, dc, shells := threeStage(t, s)
+	dc.Host(5)
+	dc.Host(6)
+	if err := p.ReplaceStage(0, shells[5]); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ReplaceStage(p.Stages()-1, shells[6]); err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	p.Submit([]byte("after double repair"), func(r []byte) {
+		got++
+		if !bytes.HasSuffix(r, []byte("|agg")) {
+			t.Errorf("result %q", r)
+		}
+	})
+	s.RunFor(10 * sim.Millisecond)
+	if got != 1 {
+		t.Fatal("pipeline broken after edge-stage replacement")
+	}
+}
+
+func TestInvalidConstruction(t *testing.T) {
+	s := sim.New(1)
+	_, shells := bed(s)
+	if _, err := New(s, nil, nil, nil, 1); err == nil {
+		t.Fatal("empty pipeline accepted")
+	}
+	_ = shells
+}
+
+func TestMultiplePipelinesCoexist(t *testing.T) {
+	s := sim.New(1)
+	dc, shells := bed(s)
+	for _, id := range []int{0, 1, 2, 10, 11} {
+		dc.Host(id)
+	}
+	stA := []Stage{{Name: "a", Service: sim.Microsecond, Transform: suffix("|A")}}
+	stB := []Stage{{Name: "b", Service: sim.Microsecond, Transform: suffix("|B")}}
+	pa, err := New(s, shells[0], []*shell.Shell{shells[1]}, stA, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := New(s, shells[0], []*shell.Shell{shells[2]}, stB, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ra, rb []byte
+	pa.Submit([]byte("x"), func(r []byte) { ra = r })
+	pb.Submit([]byte("y"), func(r []byte) { rb = r })
+	s.RunFor(10 * sim.Millisecond)
+	if string(ra) != "x|A" || string(rb) != "y|B" {
+		t.Fatalf("cross-talk: %q %q", ra, rb)
+	}
+}

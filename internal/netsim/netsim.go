@@ -1,0 +1,361 @@
+// Package netsim is a discrete-event model of the datacenter Ethernet
+// fabric the Configurable Cloud rides on: full-duplex links with
+// serialization and propagation delay, output-queued switches with
+// per-traffic-class queues, lossless classes protected by 802.1Qbb
+// Priority Flow Control, RED for lossy classes, ECN marking for DCQCN,
+// and the paper's three-tier topology (24 hosts per TOR, 960-host pods,
+// an L2 spine connecting hundreds of pods — §V-C).
+//
+// Devices (switches, hosts, FPGA shells) exchange fully encoded Ethernet
+// frames (see internal/pkt); everything a device learns about a frame it
+// learns by decoding bytes.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/metrics"
+	"repro/internal/pkt"
+	"repro/internal/sim"
+)
+
+// Device is anything attached to the fabric by one or more ports.
+type Device interface {
+	// DeviceName identifies the device in traces and errors.
+	DeviceName() string
+	// HandleFrame is called when a frame fully arrives at local port p.
+	HandleFrame(p *Port, packet *Packet)
+}
+
+// Packet is a frame in flight: the encoded bytes plus a parsed view.
+type Packet struct {
+	Buf []byte
+	F   *pkt.Frame
+
+	// ingress and release support switch-internal PFC buffer accounting.
+	ingress *Port
+	release func(*Packet)
+
+	// EnqueuedAt is when the packet last entered an egress queue.
+	EnqueuedAt sim.Time
+}
+
+// NewPacket parses buf and wraps it. It panics on undecodable frames:
+// devices in this simulator only emit well-formed frames, so a failure is
+// a bug, not an input condition.
+func NewPacket(buf []byte) *Packet {
+	f, err := pkt.Decode(buf)
+	if err != nil {
+		panic(fmt.Sprintf("netsim: emitting undecodable frame: %v", err))
+	}
+	return &Packet{Buf: buf, F: f}
+}
+
+// Class returns the packet's traffic class.
+func (p *Packet) Class() pkt.TrafficClass { return p.F.Class() }
+
+// WireLen returns the packet's on-wire size in bytes including FCS.
+func (p *Packet) WireLen() int { return p.F.WireLen() }
+
+// LinkParams describes one direction of a link.
+type LinkParams struct {
+	RateBps int64    // line rate, bits per second
+	Prop    sim.Time // propagation delay (cable length)
+}
+
+// Rate40G is the 40 Gb/s line rate used throughout the paper's fabric.
+const Rate40G int64 = 40e9
+
+// SerializationTime returns the time to clock n bytes onto the wire.
+func (lp LinkParams) SerializationTime(n int) sim.Time {
+	return sim.Time(int64(n) * 8 * int64(sim.Second) / lp.RateBps)
+}
+
+// REDConfig configures random early drop on a lossy class queue.
+type REDConfig struct {
+	MinBytes int     // below this, never drop
+	MaxBytes int     // above this, always drop
+	PMax     float64 // drop probability at MaxBytes
+}
+
+// ECNConfig configures DCQCN-style probabilistic ECN marking.
+type ECNConfig struct {
+	KMinBytes int
+	KMaxBytes int
+	PMax      float64
+}
+
+// PortConfig describes an egress port's queuing behavior.
+type PortConfig struct {
+	Link LinkParams
+	// QueueBytes bounds each class queue (tail drop past it, even for
+	// lossless classes — PFC should prevent reaching it).
+	QueueBytes int
+	// Lossless marks classes as PFC-protected (no RED).
+	Lossless [pkt.NumClasses]bool
+	// RED applies to lossy classes when PMax > 0.
+	RED REDConfig
+	// ECN applies to all classes when PMax > 0.
+	ECN ECNConfig
+}
+
+// DefaultPortConfig returns the configuration used by datacenter 40G ports:
+// 512 KiB per class, RED on lossy classes, ECN marking tuned for DCQCN,
+// LTL and RDMA classes lossless.
+func DefaultPortConfig() PortConfig {
+	var c PortConfig
+	c.Link = LinkParams{RateBps: Rate40G, Prop: 15 * sim.Nanosecond}
+	c.QueueBytes = 512 << 10
+	c.Lossless[pkt.ClassLTL] = true
+	c.Lossless[pkt.ClassRDMA] = true
+	c.RED = REDConfig{MinBytes: 64 << 10, MaxBytes: 256 << 10, PMax: 0.1}
+	c.ECN = ECNConfig{KMinBytes: 30 << 10, KMaxBytes: 120 << 10, PMax: 0.1}
+	return c
+}
+
+// PortStats aggregates per-port counters.
+type PortStats struct {
+	TxFrames   metrics.Counter
+	TxBytes    metrics.Counter
+	RxFrames   metrics.Counter
+	DropsRED   metrics.Counter
+	DropsTail  metrics.Counter
+	ECNMarks   metrics.Counter
+	PFCSent    metrics.Counter
+	PFCRecv    metrics.Counter
+	QueueDepth metrics.Gauge // bytes, all classes
+	QueueDelay *metrics.Histogram
+}
+
+// Port is one end of a full-duplex link. Egress queuing, PFC pause state,
+// and the transmitter live here; receive is a callback into the owning
+// device.
+type Port struct {
+	dev   Device
+	index int // port number within the device
+	sim   *sim.Simulation
+	rng   *rand.Rand
+	peer  *Port
+	cfg   PortConfig
+
+	queues      [pkt.NumClasses][]*Packet
+	queuedBytes [pkt.NumClasses]int
+	ctrlQueue   []*Packet // PFC / MAC control: bypasses data queues
+	pausedUntil [pkt.NumClasses]sim.Time
+	busy        bool
+	retry       *sim.Event
+
+	Stats PortStats
+}
+
+// Index returns the port's number within its device.
+func (p *Port) Index() int { return p.index }
+
+// Device returns the owning device.
+func (p *Port) Device() Device { return p.dev }
+
+// Peer returns the port at the other end of the link (nil when unwired).
+func (p *Port) Peer() *Port { return p.peer }
+
+// Config returns the port's configuration.
+func (p *Port) Config() PortConfig { return p.cfg }
+
+// QueuedBytes returns the bytes currently queued for class c.
+func (p *Port) QueuedBytes(c pkt.TrafficClass) int { return p.queuedBytes[c] }
+
+// NewPort creates an unwired port owned by dev.
+func NewPort(s *sim.Simulation, dev Device, index int, cfg PortConfig) *Port {
+	return &Port{
+		dev: dev, index: index, sim: s, rng: s.NewRand(), cfg: cfg,
+		Stats: PortStats{QueueDelay: metrics.NewHistogram()},
+	}
+}
+
+// Wire connects a and b as a full-duplex link. Both ports must be unwired.
+func Wire(a, b *Port) {
+	if a.peer != nil || b.peer != nil {
+		panic("netsim: port already wired")
+	}
+	a.peer = b
+	b.peer = a
+}
+
+// Unwire disconnects the link (e.g. failure injection). In-flight frames
+// already scheduled for delivery still arrive; queued frames drain to
+// nowhere.
+func Unwire(a *Port) {
+	if a.peer != nil {
+		a.peer.peer = nil
+		a.peer = nil
+	}
+}
+
+// Enqueue places a data packet on the egress queue, applying RED/tail-drop
+// and ECN policy, then kicks the transmitter. It reports whether the packet
+// was accepted.
+func (p *Port) Enqueue(packet *Packet) bool {
+	c := packet.Class()
+	depth := p.queuedBytes[c]
+	size := packet.WireLen()
+
+	if !p.cfg.Lossless[c] && p.cfg.RED.PMax > 0 && depth > p.cfg.RED.MinBytes {
+		var pr float64
+		if depth >= p.cfg.RED.MaxBytes {
+			pr = 1
+		} else {
+			pr = p.cfg.RED.PMax * float64(depth-p.cfg.RED.MinBytes) /
+				float64(p.cfg.RED.MaxBytes-p.cfg.RED.MinBytes)
+		}
+		if p.rng.Float64() < pr {
+			p.Stats.DropsRED.Inc()
+			p.drop(packet)
+			return false
+		}
+	}
+	if depth+size > p.cfg.QueueBytes {
+		p.Stats.DropsTail.Inc()
+		p.drop(packet)
+		return false
+	}
+	if p.cfg.ECN.PMax > 0 && packet.F.IPValid && depth > p.cfg.ECN.KMinBytes {
+		var pr float64
+		if depth >= p.cfg.ECN.KMaxBytes {
+			pr = 1
+		} else {
+			pr = p.cfg.ECN.PMax * float64(depth-p.cfg.ECN.KMinBytes) /
+				float64(p.cfg.ECN.KMaxBytes-p.cfg.ECN.KMinBytes)
+		}
+		if p.rng.Float64() < pr {
+			pkt.SetECNCE(packet.Buf)
+			packet.F.ECN = pkt.ECNCE
+			p.Stats.ECNMarks.Inc()
+		}
+	}
+
+	packet.EnqueuedAt = p.sim.Now()
+	p.queues[c] = append(p.queues[c], packet)
+	p.queuedBytes[c] += size
+	p.Stats.QueueDepth.Add(int64(size))
+	p.kick()
+	return true
+}
+
+// drop releases switch buffer accounting for a rejected packet.
+func (p *Port) drop(packet *Packet) {
+	if packet.release != nil {
+		packet.release(packet)
+	}
+}
+
+// EnqueueControl sends a MAC control frame (PFC). Control frames bypass
+// data queues and are never paused.
+func (p *Port) EnqueueControl(packet *Packet) {
+	p.ctrlQueue = append(p.ctrlQueue, packet)
+	p.kick()
+}
+
+// Pause sets the PFC pause state for class c for duration d (d == 0
+// resumes).
+func (p *Port) Pause(c pkt.TrafficClass, d sim.Time) {
+	p.Stats.PFCRecv.Inc()
+	if d == 0 {
+		p.pausedUntil[c] = 0
+	} else {
+		p.pausedUntil[c] = p.sim.Now() + d
+	}
+	p.kick()
+}
+
+// kick starts the transmitter if the port is idle.
+func (p *Port) kick() {
+	if p.busy || p.peer == nil {
+		return
+	}
+	packet, ok := p.pick()
+	if !ok {
+		return
+	}
+	p.transmit(packet)
+}
+
+// pick selects the next frame honoring control priority, strict class
+// priority (higher class first), and pause state. When only paused traffic
+// is available, it arms a retry at the earliest resume time.
+func (p *Port) pick() (*Packet, bool) {
+	if len(p.ctrlQueue) > 0 {
+		packet := p.ctrlQueue[0]
+		p.ctrlQueue = p.ctrlQueue[1:]
+		return packet, true
+	}
+	now := p.sim.Now()
+	var earliest sim.Time = -1
+	for c := pkt.NumClasses - 1; c >= 0; c-- {
+		if len(p.queues[c]) == 0 {
+			continue
+		}
+		if until := p.pausedUntil[c]; until > now {
+			if earliest < 0 || until < earliest {
+				earliest = until
+			}
+			continue
+		}
+		packet := p.queues[c][0]
+		p.queues[c] = p.queues[c][1:]
+		size := packet.WireLen()
+		p.queuedBytes[c] -= size
+		p.Stats.QueueDepth.Add(-int64(size))
+		p.Stats.QueueDelay.Observe(int64(now - packet.EnqueuedAt))
+		return packet, true
+	}
+	if earliest >= 0 {
+		if p.retry != nil {
+			p.sim.Cancel(p.retry)
+		}
+		p.retry = p.sim.ScheduleAt(earliest, func() {
+			p.retry = nil
+			p.kick()
+		})
+	}
+	return nil, false
+}
+
+// transmit serializes packet onto the wire and schedules delivery.
+func (p *Port) transmit(packet *Packet) {
+	p.busy = true
+	if packet.release != nil {
+		packet.release(packet)
+		packet.release = nil
+	}
+	ser := p.cfg.Link.SerializationTime(packet.WireLen())
+	p.Stats.TxFrames.Inc()
+	p.Stats.TxBytes.Add(uint64(packet.WireLen()))
+	peer := p.peer
+	p.sim.Schedule(ser, func() {
+		p.busy = false
+		if peer != nil && peer.peer == p { // link may have failed mid-flight
+			prop := p.cfg.Link.Prop
+			p.sim.Schedule(prop, func() {
+				peer.Stats.RxFrames.Inc()
+				peer.dev.HandleFrame(peer, packet)
+			})
+		}
+		p.kick()
+	})
+}
+
+// PauseQuantaToTime converts a PFC quanta count into wall time at rate.
+func PauseQuantaToTime(quanta uint16, rateBps int64) sim.Time {
+	return sim.Time(int64(quanta) * pkt.PauseQuantumBits * int64(sim.Second) / rateBps)
+}
+
+// TimeToPauseQuanta converts a pause duration into quanta (rounded up,
+// clamped to the 16-bit field).
+func TimeToPauseQuanta(d sim.Time, rateBps int64) uint16 {
+	bits := int64(d) * rateBps / int64(sim.Second)
+	q := (bits + pkt.PauseQuantumBits - 1) / pkt.PauseQuantumBits
+	if q > 0xffff {
+		q = 0xffff
+	}
+	return uint16(q)
+}

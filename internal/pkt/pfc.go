@@ -1,0 +1,69 @@
+package pkt
+
+import (
+	"encoding/binary"
+)
+
+// IEEE 802.1Qbb Priority Flow Control. A PFC frame is a MAC control frame
+// (EtherType 0x8808, opcode 0x0101) carrying an 8-bit class-enable vector
+// and eight 16-bit pause quanta, one per traffic class. A quantum is the
+// time to transmit 512 bits at the port's line rate; quantum 0 resumes
+// ("X-ON") the class.
+const (
+	pfcOpcode  uint16 = 0x0101
+	PFCBodyLen        = 2 + 2 + 16 // opcode + class vector + 8 quanta
+)
+
+// PFCFrame is a decoded Priority Flow Control frame.
+type PFCFrame struct {
+	// Enabled[c] indicates quantum Quanta[c] applies to class c.
+	Enabled [NumClasses]bool
+	// Quanta[c] is the pause duration in 512-bit times; 0 means resume.
+	Quanta [NumClasses]uint16
+}
+
+// EncodePFC builds a complete Ethernet PFC frame from src.
+func EncodePFC(src MAC, f PFCFrame) []byte {
+	buf := make([]byte, EthHeaderLen+PFCBodyLen)
+	copy(buf[0:], PFCMAC[:])
+	copy(buf[6:], src[:])
+	binary.BigEndian.PutUint16(buf[12:], EtherTypePFC)
+	binary.BigEndian.PutUint16(buf[14:], pfcOpcode)
+	var vec uint16
+	for c := 0; c < NumClasses; c++ {
+		if f.Enabled[c] {
+			vec |= 1 << uint(c)
+		}
+	}
+	binary.BigEndian.PutUint16(buf[16:], vec)
+	for c := 0; c < NumClasses; c++ {
+		binary.BigEndian.PutUint16(buf[18+2*c:], f.Quanta[c])
+	}
+	return buf
+}
+
+// DecodePFC parses the body of a MAC-control frame (Frame.Payload when
+// EtherType == EtherTypePFC). ok is false when the body is not a PFC frame.
+func DecodePFC(body []byte) (PFCFrame, bool) {
+	var f PFCFrame
+	if len(body) < PFCBodyLen || binary.BigEndian.Uint16(body) != pfcOpcode {
+		return f, false
+	}
+	vec := binary.BigEndian.Uint16(body[2:])
+	for c := 0; c < NumClasses; c++ {
+		f.Enabled[c] = vec&(1<<uint(c)) != 0
+		f.Quanta[c] = binary.BigEndian.Uint16(body[4+2*c:])
+	}
+	return f, true
+}
+
+// PauseQuantumBits is the number of bit-times per PFC pause quantum.
+const PauseQuantumBits = 512
+
+// IsPFC reports whether an encoded frame is a PFC control frame, without a
+// full decode; the shell bridge uses it on the fast path.
+func IsPFC(buf []byte) bool {
+	return len(buf) >= EthHeaderLen+2 &&
+		binary.BigEndian.Uint16(buf[12:]) == EtherTypePFC &&
+		binary.BigEndian.Uint16(buf[14:]) == pfcOpcode
+}

@@ -1,0 +1,141 @@
+package ranking
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// CostModel converts feature-engine work counters into service times for
+// the software and FPGA implementations. The constants are calibrated so
+// the system-level behavior matches §III: the FPGA executes the selected
+// feature computations ~30x faster than software, and because only the
+// feature stage offloads, the end-to-end single-server capacity gain at
+// the 99th-percentile latency target lands near the paper's 2.25x.
+type CostModel struct {
+	// Software feature engine (scalar code over the token stream).
+	SwPerTermToken sim.Time // per (token x query term) FSM step
+	SwPerDPCell    sim.Time // per DP lattice cell
+
+	// FPGA feature engines: the FFU advances one token per cycle with all
+	// FSMs in parallel; the DPF computes one anti-diagonal per cycle
+	// (m cells in parallel).
+	FpgaPerToken sim.Time // 175 MHz role clock
+	FpgaPerDiag  sim.Time
+	FpgaFixed    sim.Time // per-request setup/drain
+
+	// Non-offloaded software work (query parsing, L2 model, synthetic
+	// features, result assembly): lognormal mean/sigma, split across a
+	// pre-FPGA and post-FPGA stage.
+	OtherMean  sim.Time
+	OtherSigma float64
+	PreFrac    float64
+}
+
+// DefaultCostModel returns the calibrated constants.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		SwPerTermToken: 20 * sim.Nanosecond,
+		SwPerDPCell:    45 * sim.Nanosecond,
+		FpgaPerToken:   6 * sim.Nanosecond, // ~175 MHz
+		FpgaPerDiag:    6 * sim.Nanosecond,
+		FpgaFixed:      2 * sim.Microsecond,
+		OtherMean:      420 * sim.Microsecond,
+		OtherSigma:     0.45,
+		PreFrac:        0.4,
+	}
+}
+
+// Profile is the timing summary of one ranking request, derived from the
+// real synthesized workload. The latency/throughput experiments sample
+// profiles instead of recomputing features per simulated query.
+type Profile struct {
+	SwFeature   sim.Time // feature stage in software
+	FpgaFeature sim.Time // feature stage on the FPGA
+	Pre         sim.Time // software before the feature stage
+	Post        sim.Time // software after the feature stage
+	ReqBytes    int      // query+doc descriptors shipped to the FPGA
+	RespBytes   int      // feature vectors shipped back
+}
+
+// SwTotal is the software-only service time.
+func (p Profile) SwTotal() sim.Time { return p.Pre + p.SwFeature + p.Post }
+
+// ProfileOf times one workload under the cost model.
+func (cm CostModel) ProfileOf(w Workload, rng *rand.Rand) Profile {
+	var p Profile
+	m := len(w.Query.Terms)
+	for _, d := range w.Docs {
+		n := len(d.Tokens)
+		p.SwFeature += sim.Time(n*m)*cm.SwPerTermToken + sim.Time(n*m)*cm.SwPerDPCell
+		// FFU and DPF run concurrently per document; diagonals = n+m-1.
+		ffu := sim.Time(n) * cm.FpgaPerToken
+		dpf := sim.Time(n+m-1) * cm.FpgaPerDiag
+		if dpf > ffu {
+			p.FpgaFeature += dpf
+		} else {
+			p.FpgaFeature += ffu
+		}
+		p.ReqBytes += 64 + n/8 // compacted doc descriptor
+		p.RespBytes += 64
+	}
+	p.FpgaFeature += cm.FpgaFixed
+	other := sim.Time(workload.LogNormal(rng, float64(cm.OtherMean), cm.OtherSigma))
+	p.Pre = sim.Time(float64(other) * cm.PreFrac)
+	p.Post = other - p.Pre
+	p.ReqBytes += 128
+	p.RespBytes += 64
+	return p
+}
+
+// ProfilePool pre-generates request profiles from real synthesized
+// workloads so high-volume simulations can sample timing cheaply while
+// remaining anchored to the functional corpus.
+type ProfilePool struct {
+	profiles []Profile
+	rng      *rand.Rand
+}
+
+// NewProfilePool synthesizes n workloads and profiles them.
+func NewProfilePool(rng *rand.Rand, n int, cm CostModel) *ProfilePool {
+	sy := NewSynthesizer(rng)
+	pool := &ProfilePool{rng: rng}
+	for i := 0; i < n; i++ {
+		pool.profiles = append(pool.profiles, cm.ProfileOf(sy.NewWorkload(), rng))
+	}
+	return pool
+}
+
+// Sample draws a random profile.
+func (pp *ProfilePool) Sample() Profile {
+	return pp.profiles[pp.rng.Intn(len(pp.profiles))]
+}
+
+// MeanSwTotal reports the pool's mean software-only service time.
+func (pp *ProfilePool) MeanSwTotal() sim.Time {
+	var sum sim.Time
+	for _, p := range pp.profiles {
+		sum += p.SwTotal()
+	}
+	return sum / sim.Time(len(pp.profiles))
+}
+
+// MeanHostWithFPGA reports the pool's mean host CPU time when the feature
+// stage is offloaded.
+func (pp *ProfilePool) MeanHostWithFPGA() sim.Time {
+	var sum sim.Time
+	for _, p := range pp.profiles {
+		sum += p.Pre + p.Post
+	}
+	return sum / sim.Time(len(pp.profiles))
+}
+
+// MeanFpgaFeature reports the pool's mean FPGA feature-stage time.
+func (pp *ProfilePool) MeanFpgaFeature() sim.Time {
+	var sum sim.Time
+	for _, p := range pp.profiles {
+		sum += p.FpgaFeature
+	}
+	return sum / sim.Time(len(pp.profiles))
+}

@@ -1,0 +1,104 @@
+// Package ranking reproduces the Bing web search ranking acceleration of
+// §III-A: query-specific features are generated from documents by
+// finite-state machines (the Feature Functional Unit, FFU) and by a
+// dynamic-programming engine (the DPF unit), then combined by a
+// machine-learned model into a relevance score.
+//
+// The production corpus and feature set are proprietary; this package
+// synthesizes documents and queries and implements real FSM and DP feature
+// computation over them. The FPGA and software paths execute the same
+// computation (tests assert identical scores) — only their calibrated
+// service-time models differ, which is what the paper's Figures 6-8 and 11
+// measure.
+package ranking
+
+import (
+	"math/rand"
+
+	"repro/internal/workload"
+)
+
+// Term is a vocabulary word id.
+type Term uint16
+
+// VocabSize is the synthetic vocabulary size.
+const VocabSize = 4096
+
+// Document is a token stream.
+type Document struct {
+	Tokens []Term
+}
+
+// Query is a small set of search terms with weights.
+type Query struct {
+	Terms   []Term
+	Weights []float64
+}
+
+// Corpus parameters: mean document length is heavy-tailed, queries carry
+// 1-4 terms, and each query ranks DocsPerQuery candidate documents (the
+// expensive tail of the selection pipeline).
+const (
+	MeanDocTokens = 350
+	DocSigma      = 0.6
+	MaxQueryTerms = 4
+	DocsPerQuery  = 8
+)
+
+// Synthesizer generates documents and queries deterministically from an
+// RNG stream. Term frequencies are Zipf-like so query terms actually
+// occur in documents.
+type Synthesizer struct {
+	rng  *rand.Rand
+	zipf *rand.Zipf
+}
+
+// NewSynthesizer builds a generator on the given stream.
+func NewSynthesizer(rng *rand.Rand) *Synthesizer {
+	return &Synthesizer{
+		rng:  rng,
+		zipf: rand.NewZipf(rng, 1.3, 8, VocabSize-1),
+	}
+}
+
+// Document synthesizes one document with a lognormal length.
+func (sy *Synthesizer) Document() Document {
+	n := int(workload.LogNormal(sy.rng, MeanDocTokens, DocSigma))
+	if n < 16 {
+		n = 16
+	}
+	if n > 8*MeanDocTokens {
+		n = 8 * MeanDocTokens
+	}
+	tokens := make([]Term, n)
+	for i := range tokens {
+		tokens[i] = Term(sy.zipf.Uint64())
+	}
+	return Document{Tokens: tokens}
+}
+
+// Query synthesizes a 1-4 term query biased toward common terms.
+func (sy *Synthesizer) Query() Query {
+	n := 1 + sy.rng.Intn(MaxQueryTerms)
+	q := Query{Terms: make([]Term, n), Weights: make([]float64, n)}
+	for i := range q.Terms {
+		q.Terms[i] = Term(sy.zipf.Uint64())
+		q.Weights[i] = 0.5 + sy.rng.Float64()
+	}
+	return q
+}
+
+// Workload is one ranking request: a query and its candidate documents.
+type Workload struct {
+	Query Query
+	Docs  []Document
+}
+
+// NewWorkload synthesizes a full request.
+func (sy *Synthesizer) NewWorkload() Workload {
+	w := Workload{Query: sy.Query(), Docs: make([]Document, DocsPerQuery)}
+	for i := range w.Docs {
+		w.Docs[i] = sy.Document()
+	}
+	return w
+}

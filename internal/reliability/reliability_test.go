@@ -1,0 +1,106 @@
+package reliability
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestExpectedSEUs(t *testing.T) {
+	// 5760 servers x 30 days / 1025 machine-days per flip ≈ 168.6.
+	got := ExpectedSEUs(BedServers, BedDays)
+	if math.Abs(got-168.6) > 1 {
+		t.Fatalf("expected SEUs = %.1f, want ~168.6", got)
+	}
+}
+
+func TestMonteCarloMeansMatchObserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const reps = 3000
+	var hard, cable, pcie, dram, seus, hangs float64
+	for i := 0; i < reps; i++ {
+		r := Run(rng, BedServers, BedDays, ObservedRates())
+		hard += float64(r.HardFPGA)
+		cable += float64(r.BadCable)
+		pcie += float64(r.PCIeTrain)
+		dram += float64(r.DRAMCal)
+		seus += float64(r.SEUs)
+		hangs += float64(r.RoleHangs)
+	}
+	check := func(name string, sum, want, tol float64) {
+		t.Helper()
+		mean := sum / reps
+		if math.Abs(mean-want) > tol {
+			t.Errorf("%s mean = %.2f, want %.2f", name, mean, want)
+		}
+	}
+	check("hard FPGA", hard, ObservedHardFPGA, 0.15)
+	check("cable", cable, ObservedBadCable, 0.1)
+	check("PCIe train", pcie, ObservedPCIeTrain, 0.25)
+	check("DRAM cal", dram, ObservedDRAMCal, 0.3)
+	check("SEUs", seus, 168.6, 3)
+	check("role hangs", hangs, ObservedRoleHangs, 0.15)
+}
+
+func TestScrubberCatchesEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	r := Run(rng, BedServers, BedDays, ObservedRates())
+	if r.ScrubRepairs != r.SEUs {
+		t.Fatalf("scrubber repaired %d of %d flips", r.ScrubRepairs, r.SEUs)
+	}
+	if r.RoleHangs > r.SEUs {
+		t.Fatal("more hangs than flips")
+	}
+}
+
+func TestRecoveryWithinScrubPeriod(t *testing.T) {
+	// "Since the scrubbing logic completes roughly every 30 seconds, our
+	// system recovers from hung roles automatically."
+	if MeanRecoverySeconds() <= 0 || MeanRecoverySeconds() > ScrubPeriodSeconds {
+		t.Fatalf("mean recovery %.1fs outside (0, %0.fs]", MeanRecoverySeconds(), ScrubPeriodSeconds)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	a := Run(rand.New(rand.NewSource(9)), BedServers, BedDays, ObservedRates())
+	b := Run(rand.New(rand.NewSource(9)), BedServers, BedDays, ObservedRates())
+	if a != b {
+		t.Fatal("same seed produced different reports")
+	}
+}
+
+func TestSurvivingFraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	r := Run(rng, BedServers, BedDays, ObservedRates())
+	// Hard failures are a handful out of 5,760: "acceptably low for
+	// production".
+	if r.SurvivingFraction < 0.995 {
+		t.Fatalf("surviving fraction %.4f implausibly low", r.SurvivingFraction)
+	}
+}
+
+func TestPoissonSampler(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, mean := range []float64{0, 0.5, 3, 20, 200} {
+		sum := 0.0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			sum += float64(samplePoisson(rng, mean))
+		}
+		got := sum / n
+		tol := 0.05*mean + 0.05
+		if math.Abs(got-mean) > tol {
+			t.Errorf("poisson(%v) mean = %.3f", mean, got)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	out := Table(3, 200).String()
+	for _, want := range []string{"hard FPGA", "SEU", "simulated mean"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

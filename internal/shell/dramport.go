@@ -1,0 +1,127 @@
+package shell
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/er"
+)
+
+// The shell's DRAM port: roles reach the board's 4 GB DDR3 channel
+// through the Elastic Router (ER port 2, Fig. 4), paying the on-chip hop
+// plus the memory controller's queueing and row-buffer timing. Messages
+// on the wire between the Role and DRAM terminals:
+//
+//	byte 0      op (1 = read, 2 = write, 3 = read-reply, 4 = write-ack)
+//	bytes 1-8   request id
+//	bytes 9-16  address
+//	bytes 17-20 length (reads)
+//	bytes 21+   data (writes, read replies)
+const (
+	dramOpRead  = 1
+	dramOpWrite = 2
+	dramOpRData = 3
+	dramOpWAck  = 4
+)
+
+// DRAMRead fetches n bytes at addr on the role's behalf; done receives
+// the data after the ER hops and memory access complete.
+func (sh *Shell) DRAMRead(addr int64, n int, done func(data []byte)) error {
+	if sh.DRAM == nil {
+		return fmt.Errorf("shell %d: no DRAM controller attached", sh.hostID)
+	}
+	sh.nextReqID++
+	id := sh.nextReqID
+	sh.dramWaiters[id] = func(data []byte) {
+		if done != nil {
+			done(data)
+		}
+	}
+	msg := make([]byte, 21)
+	msg[0] = dramOpRead
+	binary.BigEndian.PutUint64(msg[1:], id)
+	binary.BigEndian.PutUint64(msg[9:], uint64(addr))
+	binary.BigEndian.PutUint32(msg[17:], uint32(n))
+	sh.termRole.Send(er.PortDRAM, 0, msg)
+	return nil
+}
+
+// DRAMWrite stores data at addr on the role's behalf; done fires when the
+// write transaction completes.
+func (sh *Shell) DRAMWrite(addr int64, data []byte, done func()) error {
+	if sh.DRAM == nil {
+		return fmt.Errorf("shell %d: no DRAM controller attached", sh.hostID)
+	}
+	sh.nextReqID++
+	id := sh.nextReqID
+	sh.dramWaiters[id] = func([]byte) {
+		if done != nil {
+			done()
+		}
+	}
+	msg := make([]byte, 21+len(data))
+	msg[0] = dramOpWrite
+	binary.BigEndian.PutUint64(msg[1:], id)
+	binary.BigEndian.PutUint64(msg[9:], uint64(addr))
+	binary.BigEndian.PutUint32(msg[17:], uint32(len(data)))
+	copy(msg[21:], data)
+	sh.termRole.Send(er.PortDRAM, 0, msg)
+	return nil
+}
+
+// onDRAMMessage serves requests arriving at the DRAM terminal.
+func (sh *Shell) onDRAMMessage(m *er.Message) {
+	if sh.DRAM == nil || len(m.Payload) < 21 {
+		return
+	}
+	op := m.Payload[0]
+	id := binary.BigEndian.Uint64(m.Payload[1:])
+	addr := int64(binary.BigEndian.Uint64(m.Payload[9:]))
+	n := int(binary.BigEndian.Uint32(m.Payload[17:]))
+	back := m.SrcNode
+	switch op {
+	case dramOpRead:
+		err := sh.DRAM.Read(addr, n, func(data []byte) {
+			reply := make([]byte, 21+len(data))
+			reply[0] = dramOpRData
+			binary.BigEndian.PutUint64(reply[1:], id)
+			copy(reply[21:], data)
+			sh.termDRAM.Send(back, 0, reply)
+		})
+		if err != nil {
+			sh.dramNack(back, id)
+		}
+	case dramOpWrite:
+		err := sh.DRAM.Write(addr, m.Payload[21:21+n], func() {
+			reply := make([]byte, 21)
+			reply[0] = dramOpWAck
+			binary.BigEndian.PutUint64(reply[1:], id)
+			sh.termDRAM.Send(back, 0, reply)
+		})
+		if err != nil {
+			sh.dramNack(back, id)
+		}
+	}
+}
+
+// dramNack completes a waiter with nil data on controller errors.
+func (sh *Shell) dramNack(back int, id uint64) {
+	reply := make([]byte, 21)
+	reply[0] = dramOpRData
+	binary.BigEndian.PutUint64(reply[1:], id)
+	sh.termDRAM.Send(back, 0, reply)
+}
+
+// onDRAMReply completes role-side waiters.
+func (sh *Shell) onDRAMReply(m *er.Message) {
+	if len(m.Payload) < 21 {
+		return
+	}
+	id := binary.BigEndian.Uint64(m.Payload[1:])
+	fn, ok := sh.dramWaiters[id]
+	if !ok {
+		return
+	}
+	delete(sh.dramWaiters, id)
+	fn(m.Payload[21:])
+}

@@ -1,0 +1,440 @@
+package shell
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/pkt"
+	"repro/internal/sim"
+)
+
+// bed builds a datacenter slice whose hosts all carry shells.
+func bed(s *sim.Simulation) (*netsim.Datacenter, map[int]*Shell) {
+	shells := map[int]*Shell{}
+	cfg := netsim.DefaultConfig()
+	cfg.HostsPerTOR = 4
+	cfg.TORsPerPod = 3
+	cfg.Pods = 2
+	cfg.Interposer = func(dc *netsim.Datacenter, hostID int) netsim.Interposer {
+		sh := New(dc.Sim, hostID, netsim.DefaultPortConfig(), DefaultConfig())
+		shells[hostID] = sh
+		return sh
+	}
+	return netsim.NewDatacenter(s, cfg), shells
+}
+
+func TestBridgePassesHostTraffic(t *testing.T) {
+	s := sim.New(1)
+	dc, shells := bed(s)
+	h0, h1 := dc.Host(0), dc.Host(1)
+	var got []byte
+	h1.RegisterUDP(7000, func(f *pkt.Frame) { got = append([]byte(nil), f.Payload...) })
+	h0.SendUDP(h1.IP(), 7000, 7000, pkt.ClassBestEffort, []byte("through the bump"))
+	s.RunFor(sim.Millisecond)
+	if string(got) != "through the bump" {
+		t.Fatalf("payload %q", got)
+	}
+	if shells[0].Stats.Bridged.Value() == 0 || shells[1].Stats.Bridged.Value() == 0 {
+		t.Error("bridge counters not incremented on both shells")
+	}
+}
+
+func TestLTLBetweenShells(t *testing.T) {
+	s := sim.New(1)
+	dc, shells := bed(s)
+	dc.Host(0)
+	dc.Host(1)
+	a, b := shells[0], shells[1]
+	var got []byte
+	if err := b.OpenRemoteRecv(5, 0, func(p []byte) { got = append([]byte(nil), p...) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.OpenRemoteSend(5, 1, 5, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doneAt sim.Time = -1
+	a.SendRemote(5, []byte("fpga to fpga"), func() { doneAt = s.Now() })
+	s.RunFor(sim.Millisecond)
+	if string(got) != "fpga to fpga" {
+		t.Fatalf("remote payload %q", got)
+	}
+	if doneAt < 0 {
+		t.Fatal("ACK completion never fired")
+	}
+	// Same-TOR LTL RTT should land in the low single-digit microseconds.
+	if doneAt < sim.Microsecond || doneAt > 10*sim.Microsecond {
+		t.Errorf("L0 LTL RTT = %v, expected ~2.9us", doneAt)
+	}
+	if b.Stats.LTLConsumed.Value() == 0 {
+		t.Error("LTL frames were not consumed at the shell")
+	}
+}
+
+func TestLTLAndBridgeCoexist(t *testing.T) {
+	// "all the server's network traffic is passing through the FPGA while
+	// it is simultaneously accelerating" — host traffic and LTL share the
+	// shell without interference.
+	s := sim.New(1)
+	dc, shells := bed(s)
+	h0, h1 := dc.Host(0), dc.Host(1)
+	a, b := shells[0], shells[1]
+	b.OpenRemoteRecv(5, 0, func(p []byte) {})
+	a.OpenRemoteSend(5, 1, 5, nil)
+
+	hostMsgs := 0
+	h1.RegisterUDP(7000, func(f *pkt.Frame) { hostMsgs++ })
+	ltlDone := 0
+	for i := 0; i < 50; i++ {
+		h0.SendUDP(h1.IP(), 7000, 7000, pkt.ClassBestEffort, make([]byte, 1000))
+		a.SendRemote(5, make([]byte, 500), func() { ltlDone++ })
+	}
+	s.RunFor(10 * sim.Millisecond)
+	if hostMsgs != 50 {
+		t.Errorf("host messages = %d, want 50", hostMsgs)
+	}
+	if ltlDone != 50 {
+		t.Errorf("LTL completions = %d, want 50", ltlDone)
+	}
+}
+
+// reverseTap flips payload bytes of best-effort UDP frames in one
+// direction — a stand-in for an in-line transform like encryption.
+type reverseTap struct{ dir Direction }
+
+func (rt *reverseTap) Process(dir Direction, buf []byte, f *pkt.Frame) ([]byte, sim.Time) {
+	if dir != rt.dir || !f.UDPValid || f.DstPort != 7000 {
+		return buf, 0
+	}
+	p := make([]byte, len(f.Payload))
+	for i, b := range f.Payload {
+		p[len(p)-1-i] = b
+	}
+	return pkt.EncodeUDP(f.Src, f.Dst, f.SrcIP, f.DstIP, f.SrcPort, f.DstPort, f.Class(), f.TTL, f.IPID, p), 0
+}
+
+func TestTapTransformsTraffic(t *testing.T) {
+	s := sim.New(1)
+	dc, shells := bed(s)
+	h0, h1 := dc.Host(0), dc.Host(1)
+	shells[0].AddTap(&reverseTap{dir: HostToNet})
+	shells[1].AddTap(&reverseTap{dir: NetToHost})
+	var got []byte
+	h1.RegisterUDP(7000, func(f *pkt.Frame) { got = append([]byte(nil), f.Payload...) })
+	h0.SendUDP(h1.IP(), 7000, 7000, pkt.ClassBestEffort, []byte("abcdef"))
+	s.RunFor(sim.Millisecond)
+	// Reversed twice = identity: transparent to the endpoints.
+	if string(got) != "abcdef" {
+		t.Fatalf("double transform not transparent: %q", got)
+	}
+	if shells[0].Stats.Tapped.Value() != 1 || shells[1].Stats.Tapped.Value() != 1 {
+		t.Error("tap counters wrong")
+	}
+}
+
+// dropTap consumes everything to port 9999.
+type dropTap struct{}
+
+func (dropTap) Process(dir Direction, buf []byte, f *pkt.Frame) ([]byte, sim.Time) {
+	if f.UDPValid && f.DstPort == 9999 {
+		return nil, 0
+	}
+	return buf, 0
+}
+
+func TestTapConsumesFrames(t *testing.T) {
+	s := sim.New(1)
+	dc, shells := bed(s)
+	h0, h1 := dc.Host(0), dc.Host(1)
+	shells[0].AddTap(dropTap{})
+	n := 0
+	h1.RegisterUDP(9999, func(f *pkt.Frame) { n++ })
+	h0.SendUDP(h1.IP(), 9999, 9999, pkt.ClassBestEffort, []byte("x"))
+	s.RunFor(sim.Millisecond)
+	if n != 0 {
+		t.Fatal("consumed frame was delivered")
+	}
+	if shells[0].Stats.Consumed.Value() != 1 {
+		t.Error("consume counter not incremented")
+	}
+}
+
+func TestFullReconfigDropsLink(t *testing.T) {
+	s := sim.New(1)
+	dc, shells := bed(s)
+	h0, h1 := dc.Host(0), dc.Host(1)
+	n := 0
+	h1.RegisterUDP(7000, func(f *pkt.Frame) { n++ })
+
+	shells[1].Reconfigure(false, nil)
+	h0.SendUDP(h1.IP(), 7000, 7000, pkt.ClassBestEffort, []byte("lost"))
+	s.RunFor(10 * sim.Millisecond) // well inside the reconfig window
+	if n != 0 {
+		t.Fatal("frame delivered while bridge down")
+	}
+	if shells[1].Stats.DroppedDown.Value() == 0 {
+		t.Error("DroppedDown not counted")
+	}
+	s.RunFor(sim.Second) // reconfig completes
+	h0.SendUDP(h1.IP(), 7000, 7000, pkt.ClassBestEffort, []byte("back"))
+	s.RunFor(10 * sim.Millisecond)
+	if n != 1 {
+		t.Fatal("link did not come back after full reconfiguration")
+	}
+}
+
+func TestPartialReconfigKeepsPacketsFlowing(t *testing.T) {
+	// "partial reconfiguration permits packets to be passed through even
+	// during reconfiguration of the role."
+	s := sim.New(1)
+	dc, shells := bed(s)
+	h0, h1 := dc.Host(0), dc.Host(1)
+	n := 0
+	h1.RegisterUDP(7000, func(f *pkt.Frame) { n++ })
+	shells[1].Reconfigure(true, nil)
+	if shells[1].RoleUp() {
+		t.Error("role should be down during partial reconfig")
+	}
+	h0.SendUDP(h1.IP(), 7000, 7000, pkt.ClassBestEffort, []byte("still flowing"))
+	s.RunFor(10 * sim.Millisecond)
+	if n != 1 {
+		t.Fatal("partial reconfiguration interrupted the bridge")
+	}
+}
+
+// echoRole doubles each byte.
+type echoRole struct{ delay sim.Time }
+
+func (echoRole) Name() string { return "echo" }
+func (r echoRole) HandleRequest(src RequestSource, payload []byte, respond func([]byte)) {
+	out := make([]byte, len(payload))
+	for i, b := range payload {
+		out[i] = b * 2
+	}
+	respond(out)
+}
+
+func TestPCIeCallRoundTrip(t *testing.T) {
+	s := sim.New(1)
+	sh := New(s, 0, netsim.DefaultPortConfig(), DefaultConfig())
+	sh.LoadRole(echoRole{})
+	var got []byte
+	var at sim.Time
+	if err := sh.PCIeCall([]byte{1, 2, 3}, func(resp []byte) {
+		got = resp
+		at = s.Now()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(sim.Millisecond)
+	if !bytes.Equal(got, []byte{2, 4, 6}) {
+		t.Fatalf("response %v", got)
+	}
+	// Two DMA traversals plus ER hops: ~2-3us.
+	if at < sim.Microsecond || at > 20*sim.Microsecond {
+		t.Errorf("PCIe round trip = %v", at)
+	}
+}
+
+func TestPCIeCallFailsWithoutRole(t *testing.T) {
+	s := sim.New(1)
+	sh := New(s, 0, netsim.DefaultPortConfig(), DefaultConfig())
+	if err := sh.PCIeCall([]byte{1}, func([]byte) {}); err == nil {
+		t.Fatal("expected error with empty role slot")
+	}
+}
+
+func TestSEUHangAndScrubRecovery(t *testing.T) {
+	s := sim.New(1)
+	cfg := DefaultConfig()
+	sh := New(s, 0, netsim.DefaultPortConfig(), cfg)
+	sh.LoadRole(echoRole{})
+	sh.InjectSEU(true)
+	if sh.RoleUp() {
+		t.Fatal("role should hang after SEU")
+	}
+	if err := sh.PCIeCall([]byte{1}, func([]byte) {}); err == nil {
+		t.Error("hung role should reject requests")
+	}
+	// "our system recovers from hung roles automatically" within a scrub
+	// period (~30 s).
+	s.RunFor(cfg.ScrubInterval + sim.Second)
+	if !sh.RoleUp() {
+		t.Fatal("scrubber did not recover the hung role")
+	}
+	if sh.Stats.ScrubRepairs.Value() != 1 || sh.Stats.RoleHangs.Value() != 1 {
+		t.Errorf("repair/hang counters: %d/%d",
+			sh.Stats.ScrubRepairs.Value(), sh.Stats.RoleHangs.Value())
+	}
+}
+
+func TestPowerCycleRestoresGolden(t *testing.T) {
+	s := sim.New(1)
+	cfg := DefaultConfig()
+	sh := New(s, 0, netsim.DefaultPortConfig(), cfg)
+	sh.LoadRole(echoRole{})
+	sh.PowerCycle()
+	if sh.RoleUp() {
+		t.Error("role survived power cycle")
+	}
+	s.RunFor(cfg.FullReconfigTime + sim.Millisecond)
+	if !sh.bridgeUp || !sh.goldenLoaded {
+		t.Fatal("golden image did not restore the link")
+	}
+}
+
+func TestFailureDoesNotAffectNeighbors(t *testing.T) {
+	// Unlike the torus, a bump-in-the-wire failure only cuts off its own
+	// server: traffic between other hosts on the same TOR is unaffected.
+	s := sim.New(1)
+	dc, shells := bed(s)
+	h0, h1, h2 := dc.Host(0), dc.Host(1), dc.Host(2)
+	shells[0].Reconfigure(false, nil) // host 0's link goes down
+
+	got := 0
+	h2.RegisterUDP(7000, func(f *pkt.Frame) { got++ })
+	h1.SendUDP(h2.IP(), 7000, 7000, pkt.ClassBestEffort, []byte("unaffected"))
+	s.RunFor(10 * sim.Millisecond)
+	if got != 1 {
+		t.Fatal("neighbor traffic was affected by host 0's FPGA failure")
+	}
+	_ = h0
+}
+
+func TestAreaBreakdownMatchesFig5(t *testing.T) {
+	if AreaUsed() != 131350 {
+		t.Errorf("total ALMs used = %d, want 131,350 (76%%)", AreaUsed())
+	}
+	usedPct := pctOfDevice(AreaUsed())
+	if usedPct != 76 {
+		t.Errorf("used = %d%%, want 76%%", usedPct)
+	}
+	// Shell = 44% of the FPGA (paper: "the design uses 44% of the FPGA to
+	// support all shell functions").
+	shellPct := pctOfDevice(ShellALMs())
+	if shellPct != 44 {
+		t.Errorf("shell = %d%%, want 44%%", shellPct)
+	}
+	// LTL 7%, ER 2% (§V-B).
+	for _, e := range AreaBreakdown() {
+		switch e.Component {
+		case "LTL Protocol Engine":
+			if pctOfDevice(e.ALMs) != 7 {
+				t.Errorf("LTL = %d%%, want 7%%", pctOfDevice(e.ALMs))
+			}
+		case "Elastic Router":
+			if pctOfDevice(e.ALMs) != 2 {
+				t.Errorf("ER = %d%%, want 2%%", pctOfDevice(e.ALMs))
+			}
+		}
+	}
+	out := AreaTable().String()
+	if !strings.Contains(out, "Elastic Router") || !strings.Contains(out, "172600") {
+		t.Errorf("table rendering incomplete:\n%s", out)
+	}
+}
+
+func TestShellPFCGeneration(t *testing.T) {
+	// Saturate the net-side egress with lossless traffic while the TOR
+	// pauses us; the shell must PFC the NIC rather than drop.
+	s := sim.New(1)
+	dc, shells := bed(s)
+	h0, h1 := dc.Host(0), dc.Host(1)
+	recv := 0
+	h1.RegisterUDP(7000, func(f *pkt.Frame) { recv++ })
+	for i := 0; i < 400; i++ {
+		h0.SendUDPRaw(h1.IP(), 7000, 7000, pkt.ClassLTL, make([]byte, 1400))
+	}
+	s.RunFor(50 * sim.Millisecond)
+	if recv != 400 {
+		t.Fatalf("lossless delivery incomplete: %d/400", recv)
+	}
+	sh := shells[0]
+	drops := sh.netPort.Stats.DropsTail.Value() + sh.netPort.Stats.DropsRED.Value()
+	if drops != 0 {
+		t.Errorf("shell dropped %d lossless frames", drops)
+	}
+}
+
+func TestDRAMThroughER(t *testing.T) {
+	s := sim.New(1)
+	sh := New(s, 0, netsim.DefaultPortConfig(), DefaultConfig())
+	data := []byte("feature tables cached in board DRAM")
+	var got []byte
+	var readAt sim.Time
+	err := sh.DRAMWrite(64<<10, data, func() {
+		sh.DRAMRead(64<<10, len(data), func(d []byte) {
+			got = d
+			readAt = s.Now()
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(10 * sim.Millisecond)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %q", got)
+	}
+	// Round trip crosses the ER twice per op plus DRAM timing: order
+	// hundreds of ns.
+	if readAt < 100*sim.Nanosecond || readAt > 10*sim.Microsecond {
+		t.Errorf("DRAM round trip completed at %v", readAt)
+	}
+	if sh.DRAM.Stats.Reads.Value() != 1 || sh.DRAM.Stats.Writes.Value() != 1 {
+		t.Error("controller counters wrong")
+	}
+}
+
+func TestDRAMOutOfRangeNacks(t *testing.T) {
+	s := sim.New(1)
+	sh := New(s, 0, netsim.DefaultPortConfig(), DefaultConfig())
+	var got []byte = []byte("sentinel")
+	sh.DRAMRead(-5, 4, func(d []byte) { got = d })
+	s.RunFor(10 * sim.Millisecond)
+	if len(got) != 0 {
+		t.Fatalf("out-of-range read returned %q, want empty nack", got)
+	}
+}
+
+func TestNoLTLVariant(t *testing.T) {
+	s := sim.New(1)
+	cfg := DefaultConfig()
+	cfg.NoLTL = true
+	shells := map[int]*Shell{}
+	dcCfg := netsim.DefaultConfig()
+	dcCfg.HostsPerTOR = 4
+	dcCfg.TORsPerPod = 2
+	dcCfg.Pods = 1
+	dcCfg.Interposer = func(dc *netsim.Datacenter, hostID int) netsim.Interposer {
+		sh := New(dc.Sim, hostID, netsim.DefaultPortConfig(), cfg)
+		shells[hostID] = sh
+		return sh
+	}
+	dc := netsim.NewDatacenter(s, dcCfg)
+	h0, h1 := dc.Host(0), dc.Host(1)
+
+	// Remote APIs must refuse.
+	if err := shells[0].OpenRemoteSend(1, 1, 1, nil); err == nil {
+		t.Fatal("NoLTL shell accepted a send connection")
+	}
+	if err := shells[1].OpenRemoteRecv(1, 0, nil); err == nil {
+		t.Fatal("NoLTL shell accepted a recv connection")
+	}
+	// The bridge and local acceleration still work.
+	got := 0
+	h1.RegisterUDP(7000, func(f *pkt.Frame) { got++ })
+	h0.SendUDP(h1.IP(), 7000, 7000, pkt.ClassBestEffort, []byte("bridge works"))
+	shells[0].LoadRole(echoRole{})
+	pcieOK := false
+	shells[0].PCIeCall([]byte{1}, func([]byte) { pcieOK = true })
+	s.RunFor(10 * sim.Millisecond)
+	if got != 1 || !pcieOK {
+		t.Fatalf("NoLTL shell broke local paths: bridge=%d pcie=%v", got, pcieOK)
+	}
+	// The reclaimed area is the LTL engine + packet switch (10% of the
+	// device back to the role).
+	if NoLTLReclaimedALMs() != 11839+4815 {
+		t.Errorf("reclaimed = %d ALMs", NoLTLReclaimedALMs())
+	}
+}

@@ -1,0 +1,256 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All Configurable Cloud models (network, FPGA shell, LTL, applications) run
+// on top of a single Simulation instance: a virtual clock expressed in
+// nanoseconds and a binary-heap event queue with a (time, sequence) total
+// order, so repeated runs with the same seed are bit-identical.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is virtual simulation time in nanoseconds since simulation start.
+type Time int64
+
+// Common durations, in virtual nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+	Minute      Time = 60 * Second
+	Hour        Time = 60 * Minute
+	Day         Time = 24 * Hour
+)
+
+// String formats the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	case t < Second:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.6fs", float64(t)/float64(Second))
+	}
+}
+
+// Seconds returns the time as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros returns the time as floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Handler is a scheduled callback. It runs at its scheduled virtual time.
+type Handler func()
+
+// Event is a scheduled occurrence. Cancel it via Simulation.Cancel.
+type Event struct {
+	at      Time
+	seq     uint64
+	index   int // heap index, -1 when not queued
+	fn      Handler
+	label   string
+	stopped bool
+}
+
+// At returns the virtual time this event fires at.
+func (e *Event) At() Time { return e.at }
+
+// Label returns the diagnostic label given at scheduling time.
+func (e *Event) Label() string { return e.label }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Simulation is a single-threaded discrete-event simulator.
+// The zero value is not usable; construct with New.
+type Simulation struct {
+	now    Time
+	seq    uint64
+	queue  eventHeap
+	rng    *rand.Rand
+	seed   int64
+	fired  uint64
+	halted bool
+
+	// Event trace ring (trace.go); disabled unless EnableTrace is called.
+	trace     []TraceEntry
+	traceCap  int
+	traceHead int
+}
+
+// New returns a simulation whose RNG is seeded with seed. The same seed
+// always produces the same execution.
+func New(seed int64) *Simulation {
+	return &Simulation{rng: rand.New(rand.NewSource(seed)), seed: seed}
+}
+
+// Now returns the current virtual time.
+func (s *Simulation) Now() Time { return s.now }
+
+// Seed returns the seed the simulation was created with.
+func (s *Simulation) Seed() int64 { return s.seed }
+
+// Rand returns the simulation's deterministic random stream.
+func (s *Simulation) Rand() *rand.Rand { return s.rng }
+
+// NewRand derives an independent deterministic random stream. Models that
+// need private randomness (e.g. background traffic) should take their own
+// stream so adding a model does not perturb others' draws.
+func (s *Simulation) NewRand() *rand.Rand {
+	return rand.New(rand.NewSource(s.rng.Int63()))
+}
+
+// Fired reports how many events have executed so far.
+func (s *Simulation) Fired() uint64 { return s.fired }
+
+// Pending reports how many events are queued.
+func (s *Simulation) Pending() int { return len(s.queue) }
+
+// Schedule runs fn after delay (which may be zero, meaning "later this
+// instant" — zero-delay events still execute in scheduling order).
+// Negative delays panic: the simulated past is immutable.
+func (s *Simulation) Schedule(delay Time, fn Handler) *Event {
+	return s.ScheduleLabeled(delay, "", fn)
+}
+
+// ScheduleLabeled is Schedule with a diagnostic label for tracing.
+func (s *Simulation) ScheduleLabeled(delay Time, label string, fn Handler) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", delay))
+	}
+	e := &Event{at: s.now + delay, seq: s.seq, fn: fn, label: label, index: -1}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// ScheduleAt runs fn at absolute virtual time at (>= Now).
+func (s *Simulation) ScheduleAt(at Time, fn Handler) *Event {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: schedule in the past: at=%d now=%d", at, s.now))
+	}
+	return s.Schedule(at-s.now, fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op. Returns true if the event was pending.
+func (s *Simulation) Cancel(e *Event) bool {
+	if e == nil || e.stopped || e.index < 0 {
+		return false
+	}
+	e.stopped = true
+	heap.Remove(&s.queue, e.index)
+	return true
+}
+
+// Halt stops the run loop after the current event returns.
+func (s *Simulation) Halt() { s.halted = true }
+
+// Step executes the single earliest event. It returns false when the queue
+// is empty.
+func (s *Simulation) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*Event)
+	if e.at < s.now {
+		panic("sim: time went backwards")
+	}
+	s.now = e.at
+	s.fired++
+	s.record(e)
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue is empty or Halt is called.
+func (s *Simulation) Run() {
+	s.halted = false
+	for !s.halted && s.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to deadline (if the queue drained earlier). Events scheduled beyond
+// the deadline remain queued.
+func (s *Simulation) RunUntil(deadline Time) {
+	s.halted = false
+	for !s.halted {
+		if len(s.queue) == 0 || s.queue[0].at > deadline {
+			break
+		}
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// RunFor is RunUntil(Now()+d).
+func (s *Simulation) RunFor(d Time) { s.RunUntil(s.now + d) }
+
+// Every schedules fn to run now+first and then every period until the
+// returned Ticker is stopped.
+func (s *Simulation) Every(first, period Time, fn Handler) *Ticker {
+	t := &Ticker{sim: s, period: period, fn: fn}
+	t.ev = s.Schedule(first, t.tick)
+	return t
+}
+
+// Ticker is a repeating scheduled callback. Stop it with Stop.
+type Ticker struct {
+	sim     *Simulation
+	period  Time
+	fn      Handler
+	ev      *Event
+	stopped bool
+}
+
+func (t *Ticker) tick() {
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if !t.stopped {
+		t.ev = t.sim.Schedule(t.period, t.tick)
+	}
+}
+
+// Stop cancels future ticks.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.sim.Cancel(t.ev)
+}

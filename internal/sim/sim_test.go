@@ -1,0 +1,440 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.Schedule(30, func() { got = append(got, 3) })
+	s.Schedule(10, func() { got = append(got, 1) })
+	s.Schedule(20, func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if s.Now() != 30 {
+		t.Errorf("Now() = %d, want 30", s.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		s.Schedule(5, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-timestamp events fired out of scheduling order: pos %d = %d", i, got[i])
+		}
+	}
+}
+
+func TestZeroDelayRunsThisInstant(t *testing.T) {
+	s := New(1)
+	ran := false
+	s.Schedule(10, func() {
+		s.Schedule(0, func() {
+			if s.Now() != 10 {
+				t.Errorf("zero-delay event at %d, want 10", s.Now())
+			}
+			ran = true
+		})
+	})
+	s.Run()
+	if !ran {
+		t.Fatal("zero-delay event never ran")
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative delay")
+		}
+	}()
+	New(1).Schedule(-1, func() {})
+}
+
+func TestScheduleAtPastPanics(t *testing.T) {
+	s := New(1)
+	s.Schedule(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		s.ScheduleAt(50, func() {})
+	})
+	s.Run()
+}
+
+func TestCancel(t *testing.T) {
+	s := New(1)
+	fired := false
+	e := s.Schedule(10, func() { fired = true })
+	if !s.Cancel(e) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if s.Cancel(e) {
+		t.Fatal("Cancel returned true twice")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if s.Cancel(nil) {
+		t.Fatal("Cancel(nil) returned true")
+	}
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	s := New(1)
+	var got []int
+	var evs []*Event
+	for i := 0; i < 10; i++ {
+		i := i
+		evs = append(evs, s.Schedule(Time(10+i), func() { got = append(got, i) }))
+	}
+	s.Cancel(evs[3])
+	s.Cancel(evs[7])
+	s.Run()
+	for _, v := range got {
+		if v == 3 || v == 7 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+	if len(got) != 8 {
+		t.Fatalf("fired %d events, want 8", len(got))
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New(1)
+	var got []Time
+	for _, d := range []Time{10, 20, 30, 40} {
+		d := d
+		s.Schedule(d, func() { got = append(got, d) })
+	}
+	s.RunUntil(25)
+	if len(got) != 2 {
+		t.Fatalf("RunUntil(25) fired %d events, want 2", len(got))
+	}
+	if s.Now() != 25 {
+		t.Fatalf("Now() = %d, want 25", s.Now())
+	}
+	s.RunUntil(100)
+	if len(got) != 4 {
+		t.Fatalf("after RunUntil(100), fired %d events, want 4", len(got))
+	}
+	if s.Now() != 100 {
+		t.Fatalf("Now() = %d, want clock advanced to 100", s.Now())
+	}
+}
+
+func TestRunUntilBoundaryInclusive(t *testing.T) {
+	s := New(1)
+	fired := false
+	s.Schedule(25, func() { fired = true })
+	s.RunUntil(25)
+	if !fired {
+		t.Fatal("event exactly at deadline should fire")
+	}
+}
+
+func TestHalt(t *testing.T) {
+	s := New(1)
+	count := 0
+	for i := 0; i < 10; i++ {
+		s.Schedule(Time(i+1), func() {
+			count++
+			if count == 3 {
+				s.Halt()
+			}
+		})
+	}
+	s.Run()
+	if count != 3 {
+		t.Fatalf("Halt did not stop run: count = %d", count)
+	}
+	// Run can be resumed.
+	s.Run()
+	if count != 10 {
+		t.Fatalf("resume after Halt: count = %d, want 10", count)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	s := New(1)
+	var times []Time
+	tk := s.Every(5, 10, func() { times = append(times, s.Now()) })
+	s.Schedule(36, func() { tk.Stop() })
+	s.Run()
+	want := []Time{5, 15, 25, 35}
+	if len(times) != len(want) {
+		t.Fatalf("ticker fired %d times (%v), want %d", len(times), times, len(want))
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Errorf("tick %d at %d, want %d", i, times[i], want[i])
+		}
+	}
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	s := New(1)
+	n := 0
+	var tk *Ticker
+	tk = s.Every(1, 1, func() {
+		n++
+		if n == 2 {
+			tk.Stop()
+		}
+	})
+	s.RunUntil(100)
+	if n != 2 {
+		t.Fatalf("ticker fired %d times, want 2", n)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []int64 {
+		s := New(seed)
+		var trace []int64
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			if depth > 4 {
+				return
+			}
+			n := 1 + s.Rand().Intn(3)
+			for i := 0; i < n; i++ {
+				d := Time(s.Rand().Intn(1000))
+				s.Schedule(d, func() {
+					trace = append(trace, int64(s.Now()))
+					spawn(depth + 1)
+				})
+			}
+		}
+		spawn(0)
+		s.Run()
+		return trace
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic event count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same && len(a) > 3 {
+		t.Error("different seeds produced identical traces (suspicious)")
+	}
+}
+
+func TestNewRandIndependence(t *testing.T) {
+	s := New(7)
+	r1 := s.NewRand()
+	r2 := s.NewRand()
+	eq := true
+	for i := 0; i < 16; i++ {
+		if r1.Int63() != r2.Int63() {
+			eq = false
+			break
+		}
+	}
+	if eq {
+		t.Fatal("derived streams are identical")
+	}
+}
+
+// Property: events always fire in nondecreasing time order regardless of
+// the scheduling pattern.
+func TestPropertyMonotonicTime(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := New(99)
+		var fired []Time
+		for _, d := range delays {
+			s.Schedule(Time(d), func() { fired = append(fired, s.Now()) })
+		}
+		s.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		// All delays observed.
+		want := make([]int, len(delays))
+		for i, d := range delays {
+			want[i] = int(d)
+		}
+		sort.Ints(want)
+		if len(fired) != len(want) {
+			return false
+		}
+		for i := range want {
+			if int(fired[i]) != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling a random subset fires exactly the complement.
+func TestPropertyCancelSubset(t *testing.T) {
+	f := func(delays []uint16, mask []bool) bool {
+		s := New(1)
+		fired := map[int]bool{}
+		var evs []*Event
+		for i, d := range delays {
+			i := i
+			evs = append(evs, s.Schedule(Time(d), func() { fired[i] = true }))
+		}
+		cancelled := map[int]bool{}
+		for i := range evs {
+			if i < len(mask) && mask[i] {
+				s.Cancel(evs[i])
+				cancelled[i] = true
+			}
+		}
+		s.Run()
+		for i := range evs {
+			if fired[i] == cancelled[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(6))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{500, "500ns"},
+		{2880, "2.880us"},
+		{1500000, "1.500ms"},
+		{3 * Second, "3.000000s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if got := (2500 * Nanosecond).Micros(); got != 2.5 {
+		t.Errorf("Micros = %v, want 2.5", got)
+	}
+	if got := (1500 * Millisecond).Seconds(); got != 1.5 {
+		t.Errorf("Seconds = %v, want 1.5", got)
+	}
+}
+
+func TestFiredAndPending(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 5; i++ {
+		s.Schedule(Time(i), func() {})
+	}
+	if s.Pending() != 5 {
+		t.Fatalf("Pending = %d, want 5", s.Pending())
+	}
+	s.Run()
+	if s.Fired() != 5 {
+		t.Fatalf("Fired = %d, want 5", s.Fired())
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending after run = %d, want 0", s.Pending())
+	}
+}
+
+func TestTraceRecordsLabeledEvents(t *testing.T) {
+	s := New(1)
+	s.EnableTrace(8)
+	for i := 0; i < 3; i++ {
+		i := i
+		s.ScheduleLabeled(Time(i+1), "step", func() { _ = i })
+	}
+	s.Run()
+	tr := s.Trace()
+	if len(tr) != 3 {
+		t.Fatalf("trace length %d, want 3", len(tr))
+	}
+	for i, e := range tr {
+		if e.Label != "step" || e.At != Time(i+1) {
+			t.Fatalf("entry %d: %+v", i, e)
+		}
+	}
+	if got := s.TraceString(); !strings.Contains(got, "step") {
+		t.Errorf("TraceString missing label:\n%s", got)
+	}
+}
+
+func TestTraceRingWraps(t *testing.T) {
+	s := New(1)
+	s.EnableTrace(4)
+	for i := 0; i < 10; i++ {
+		s.Schedule(Time(i+1), func() {})
+	}
+	s.Run()
+	tr := s.Trace()
+	if len(tr) != 4 {
+		t.Fatalf("ring length %d, want 4", len(tr))
+	}
+	// Oldest-first ordering of the last four events (times 7..10).
+	for i, e := range tr {
+		if e.At != Time(7+i) {
+			t.Fatalf("ring order wrong: %+v", tr)
+		}
+	}
+}
+
+func TestTraceDisabled(t *testing.T) {
+	s := New(1)
+	s.Schedule(1, func() {})
+	s.Run()
+	if s.Trace() != nil {
+		t.Fatal("trace recorded while disabled")
+	}
+	s.EnableTrace(2)
+	s.EnableTrace(0) // disable again
+	s.Schedule(1, func() {})
+	s.Run()
+	if s.Trace() != nil {
+		t.Fatal("trace not disabled")
+	}
+}

@@ -1,0 +1,259 @@
+package torus
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func healthy(s *sim.Simulation) *Torus { return New(s, DefaultConfig()) }
+
+func TestDimensions(t *testing.T) {
+	s := sim.New(1)
+	tor := healthy(s)
+	if tor.Nodes() != 48 {
+		t.Fatalf("nodes = %d, want 48 (6x8)", tor.Nodes())
+	}
+	if tor.MaxHops() != 7 {
+		t.Fatalf("diameter = %d, want 7 (3+4)", tor.MaxHops())
+	}
+}
+
+func TestCoordRoundTrip(t *testing.T) {
+	s := sim.New(1)
+	tor := healthy(s)
+	for n := 0; n < tor.Nodes(); n++ {
+		x, y := tor.Coord(n)
+		if tor.Node(x, y) != n {
+			t.Fatalf("coord round trip failed for %d", n)
+		}
+	}
+	// Wraparound.
+	if tor.Node(-1, 0) != tor.Node(5, 0) {
+		t.Error("x wraparound broken")
+	}
+	if tor.Node(0, -1) != tor.Node(0, 7) {
+		t.Error("y wraparound broken")
+	}
+}
+
+func TestHopDistanceSymmetricAndBounded(t *testing.T) {
+	s := sim.New(1)
+	tor := healthy(s)
+	for a := 0; a < tor.Nodes(); a++ {
+		for b := 0; b < tor.Nodes(); b++ {
+			d := tor.HopDistance(a, b)
+			if d != tor.HopDistance(b, a) {
+				t.Fatalf("asymmetric distance %d<->%d", a, b)
+			}
+			if d > tor.MaxHops() {
+				t.Fatalf("distance %d exceeds diameter", d)
+			}
+			if (d == 0) != (a == b) {
+				t.Fatalf("zero distance for distinct nodes %d,%d", a, b)
+			}
+		}
+	}
+}
+
+func TestCalibrationMatchesCatapultV1(t *testing.T) {
+	// Paper: "nearest neighbor (1-hop) communication had a round-trip
+	// latency of approximately 1 µs ... worst-case round-trip
+	// communication in the torus requires 7 µsec."
+	s := sim.New(1)
+	tor := healthy(s)
+	oneHop, hops, ok := tor.RTT(0, 1, 128)
+	if !ok || hops != 1 {
+		t.Fatalf("1-hop route broken: hops=%d ok=%v", hops, ok)
+	}
+	if oneHop < 800*sim.Nanosecond || oneHop > 1300*sim.Nanosecond {
+		t.Errorf("1-hop RTT = %v, want ~1us", oneHop)
+	}
+	// Worst case: diameter path.
+	worst, hops, ok := tor.RTT(tor.Node(0, 0), tor.Node(3, 4), 128)
+	if !ok || hops != 7 {
+		t.Fatalf("diameter route: hops=%d", hops)
+	}
+	if worst < 6*sim.Microsecond || worst > 8*sim.Microsecond {
+		t.Errorf("worst-case RTT = %v, want ~7us", worst)
+	}
+}
+
+func TestDORPathFollowsXThenY(t *testing.T) {
+	s := sim.New(1)
+	tor := healthy(s)
+	path, rerouted, ok := tor.Route(tor.Node(0, 0), tor.Node(2, 2))
+	if !ok || rerouted {
+		t.Fatalf("route failed: ok=%v rerouted=%v", ok, rerouted)
+	}
+	want := []int{tor.Node(0, 0), tor.Node(1, 0), tor.Node(2, 0), tor.Node(2, 1), tor.Node(2, 2)}
+	if len(path) != len(want) {
+		t.Fatalf("path %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path %v, want %v", path, want)
+		}
+	}
+}
+
+func TestRerouteAroundFailure(t *testing.T) {
+	s := sim.New(1)
+	tor := healthy(s)
+	a, b := tor.Node(0, 0), tor.Node(2, 0)
+	tor.Fail(tor.Node(1, 0)) // blocks the DOR path
+	path, rerouted, ok := tor.Route(a, b)
+	if !ok {
+		t.Fatal("reroute failed")
+	}
+	if !rerouted {
+		t.Error("expected reroute flag")
+	}
+	// Detour costs extra hops ("at the cost of extra network hops and
+	// latency").
+	if len(path)-1 <= tor.HopDistance(a, b) {
+		t.Errorf("detour path %v not longer than direct distance %d", path, tor.HopDistance(a, b))
+	}
+	for _, n := range path {
+		if !tor.Alive(n) {
+			t.Fatalf("path crosses dead node %d", n)
+		}
+	}
+}
+
+func TestIsolationUnderFailurePattern(t *testing.T) {
+	// Killing all four neighbors isolates a node — the failure mode the
+	// paper calls out ("isolation of nodes under certain failure
+	// patterns").
+	s := sim.New(1)
+	tor := healthy(s)
+	victim := tor.Node(2, 2)
+	for _, nb := range tor.neighbors(victim) {
+		tor.Fail(nb)
+	}
+	if _, _, ok := tor.Route(victim, tor.Node(0, 0)); ok {
+		t.Fatal("isolated node still routable")
+	}
+	sent := tor.SendMessage(victim, tor.Node(0, 0), 128, func(sim.Time, int) {})
+	if sent {
+		t.Fatal("SendMessage succeeded from isolated node")
+	}
+	if tor.Stats.Isolated.Value() != 1 {
+		t.Errorf("Isolated counter = %d", tor.Stats.Isolated.Value())
+	}
+}
+
+func TestRepair(t *testing.T) {
+	s := sim.New(1)
+	tor := healthy(s)
+	tor.Fail(5)
+	tor.Repair(5)
+	if !tor.Alive(5) {
+		t.Fatal("repair failed")
+	}
+	if _, rerouted, ok := tor.Route(4, 6); !ok || rerouted {
+		t.Fatal("repaired node not usable on DOR path")
+	}
+}
+
+func TestSendMessageTiming(t *testing.T) {
+	s := sim.New(1)
+	tor := healthy(s)
+	var gotRTT sim.Time
+	var gotHops int
+	tor.SendMessage(0, 1, 128, func(rtt sim.Time, hops int) {
+		gotRTT, gotHops = rtt, hops
+		if s.Now() != rtt {
+			t.Errorf("done fired at %v, want %v", s.Now(), rtt)
+		}
+	})
+	s.Run()
+	if gotHops != 1 || gotRTT == 0 {
+		t.Fatalf("rtt=%v hops=%d", gotRTT, gotHops)
+	}
+}
+
+func TestRTTMonotonicInDistance(t *testing.T) {
+	s := sim.New(1)
+	tor := healthy(s)
+	prev := sim.Time(0)
+	for d := 1; d <= 3; d++ {
+		rtt, hops, ok := tor.RTT(tor.Node(0, 0), tor.Node(d, 0), 128)
+		if !ok || hops != d {
+			t.Fatalf("d=%d: hops=%d ok=%v", d, hops, ok)
+		}
+		if rtt <= prev {
+			t.Fatalf("RTT not increasing with distance: %v <= %v", rtt, prev)
+		}
+		prev = rtt
+	}
+}
+
+// Property: on a healthy torus, Route always returns a DOR path whose
+// length matches HopDistance, and RTT is symmetric.
+func TestPropertyHealthyRouting(t *testing.T) {
+	s := sim.New(1)
+	tor := healthy(s)
+	f := func(a8, b8 uint8) bool {
+		a, b := int(a8)%tor.Nodes(), int(b8)%tor.Nodes()
+		path, rerouted, ok := tor.Route(a, b)
+		if !ok || rerouted {
+			return false
+		}
+		if len(path)-1 != tor.HopDistance(a, b) {
+			return false
+		}
+		r1, _, _ := tor.RTT(a, b, 256)
+		r2, _, _ := tor.RTT(b, a, 256)
+		return r1 == r2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(31))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with random failures, any route returned crosses only live
+// nodes and starts/ends correctly.
+func TestPropertyFaultyRoutingSafety(t *testing.T) {
+	f := func(fails []uint8, a8, b8 uint8) bool {
+		s := sim.New(1)
+		tor := healthy(s)
+		if len(fails) > 20 {
+			fails = fails[:20]
+		}
+		for _, n := range fails {
+			tor.Fail(int(n) % tor.Nodes())
+		}
+		a, b := int(a8)%tor.Nodes(), int(b8)%tor.Nodes()
+		path, _, ok := tor.Route(a, b)
+		if !ok {
+			return true // isolation is legal
+		}
+		if path[0] != a || path[len(path)-1] != b {
+			return false
+		}
+		for i, n := range path {
+			if !tor.Alive(n) {
+				return false
+			}
+			if i > 0 && tor.HopDistance(path[i-1], n) != 1 {
+				return false // non-adjacent hop
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(32))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidDimensionsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(sim.New(1), Config{Width: 1, Height: 8})
+}
