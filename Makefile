@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench experiments examples fuzz clean
+.PHONY: all build vet test test-short race bench experiments examples fuzz clean
 
 all: build vet test
 
@@ -17,6 +17,11 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# The deterministic test tier under the race detector. The simulator is
+# single-threaded by design; this keeps it that way.
+race:
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -40,6 +45,7 @@ fuzz:
 	$(GO) test -fuzz FuzzDecode$$ -fuzztime 30s ./internal/pkt/
 	$(GO) test -fuzz FuzzDecodeLTL -fuzztime 30s ./internal/pkt/
 	$(GO) test -fuzz FuzzEncodeDecodeUDP -fuzztime 30s ./internal/pkt/
+	$(GO) test -fuzz FuzzHandleFrame -fuzztime 30s ./internal/ltl/
 
 clean:
 	$(GO) clean -testcache

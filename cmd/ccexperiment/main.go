@@ -6,6 +6,7 @@
 //
 //	ccexperiment -exp fig10          # one experiment, quick sizing
 //	ccexperiment -exp all -full      # everything at paper-like sizing
+//	ccexperiment -exp faults -faults lossy   # run under a fault profile
 package main
 
 import (
@@ -21,13 +22,22 @@ func main() {
 	full := flag.Bool("full", false, "paper-like sizing (slower)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables (for plotting)")
+	faults := flag.String("faults", "", "run experiments under a fault profile (see -list)")
 	flag.Parse()
 
 	if *list {
 		for _, id := range configcloud.ExperimentIDs {
 			fmt.Println(id)
 		}
+		fmt.Println("\nfault profiles (-faults):")
+		for _, name := range configcloud.FaultProfileNames() {
+			fmt.Println(name)
+		}
 		return
+	}
+	if err := configcloud.SetDefaultFaultProfile(*faults); err != nil {
+		fmt.Fprintf(os.Stderr, "ccexperiment: %v\n", err)
+		os.Exit(1)
 	}
 	scale := configcloud.Quick
 	if *full {

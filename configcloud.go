@@ -20,6 +20,9 @@
 package configcloud
 
 import (
+	"fmt"
+
+	"repro/internal/faultinject"
 	"repro/internal/netsim"
 	"repro/internal/shell"
 	"repro/internal/sim"
@@ -63,7 +66,33 @@ type Options struct {
 	// NoFPGAs builds a plain datacenter without bump-in-the-wire shells
 	// (the "software-only datacenter" baseline of Fig. 7).
 	NoFPGAs bool
+	// FaultProfile names a faultinject profile ("paper", "lossy", "flaky",
+	// "chaos") to run the cloud under; every node is registered with the
+	// injector as it instantiates and fault schedules start automatically.
+	// Empty means the process default set via SetDefaultFaultProfile (and
+	// failing that, no faults). Unknown names panic at New.
+	FaultProfile string
 }
+
+// defaultFaultProfile is the process-wide profile applied when
+// Options.FaultProfile is empty — how cmd/ccexperiment's -faults flag
+// reaches every experiment without threading an option through each one.
+var defaultFaultProfile string
+
+// SetDefaultFaultProfile sets (or, with "", clears) the fault profile
+// applied to subsequently constructed Clouds that don't name their own.
+func SetDefaultFaultProfile(name string) error {
+	if name != "" {
+		if _, err := faultinject.ByName(name); err != nil {
+			return err
+		}
+	}
+	defaultFaultProfile = name
+	return nil
+}
+
+// FaultProfileNames lists the built-in fault profiles.
+func FaultProfileNames() []string { return faultinject.ProfileNames() }
 
 // Node pairs a server with its FPGA shell.
 type Node struct {
@@ -76,9 +105,13 @@ type Node struct {
 type Cloud struct {
 	Sim *sim.Simulation
 	DC  *netsim.Datacenter
+	// Faults is the cloud's fault injector. Always present; idle unless a
+	// fault profile was selected or the caller drives it directly.
+	Faults *faultinject.Injector
 
 	shellCfg shell.Config
 	shells   map[int]*shell.Shell
+	profile  *faultinject.Profile
 }
 
 // New builds a cloud. Servers (and their TOR/L1/L2 chains) instantiate
@@ -95,6 +128,18 @@ func New(opts Options) *Cloud {
 		shCfg = shell.DefaultConfig()
 	}
 	c := &Cloud{Sim: s, shellCfg: shCfg, shells: make(map[int]*shell.Shell)}
+	c.Faults = faultinject.New(s)
+	profName := opts.FaultProfile
+	if profName == "" {
+		profName = defaultFaultProfile
+	}
+	if profName != "" {
+		p, err := faultinject.ByName(profName)
+		if err != nil {
+			panic(fmt.Sprintf("configcloud: %v", err))
+		}
+		c.profile = &p
+	}
 	if !opts.NoFPGAs {
 		topo.Interposer = func(dc *netsim.Datacenter, hostID int) netsim.Interposer {
 			sh := shell.New(dc.Sim, hostID, netsim.DefaultPortConfig(), shCfg)
@@ -107,9 +152,19 @@ func New(opts Options) *Cloud {
 }
 
 // Node instantiates (if needed) and returns server id with its shell.
+// Under a fault profile, each new node is registered with the injector and
+// the profile's schedules restart to cover it.
 func (c *Cloud) Node(id int) Node {
+	_, known := c.shells[id]
 	h := c.DC.Host(id)
-	return Node{ID: id, Host: h, Shell: c.shells[id]}
+	sh := c.shells[id]
+	if sh != nil && !known {
+		c.Faults.AddNode(id, sh)
+		if c.profile != nil {
+			c.Faults.Start(*c.profile)
+		}
+	}
+	return Node{ID: id, Host: h, Shell: sh}
 }
 
 // Run advances virtual time by d.

@@ -1,7 +1,10 @@
 package configcloud
 
 import (
+	"fmt"
 	"testing"
+
+	"repro/internal/netsim"
 )
 
 // Every experiment is a pure function of its seed: rendering the same
@@ -11,7 +14,7 @@ func TestExperimentDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs several experiments twice")
 	}
-	for _, id := range []string{"fig5", "power", "reliability", "crypto", "haas", "ext-bioinfo", "ext-compression"} {
+	for _, id := range []string{"fig5", "power", "reliability", "crypto", "haas", "faults", "ext-bioinfo", "ext-compression"} {
 		render := func() string {
 			tabs, err := RunExperiment(id, Quick)
 			if err != nil {
@@ -25,6 +28,54 @@ func TestExperimentDeterminism(t *testing.T) {
 		}
 		if a, b := render(), render(); a != b {
 			t.Errorf("experiment %s is non-deterministic", id)
+		}
+	}
+}
+
+// Fault injection replays bit-identically: the same seed and fault
+// profile must yield the same executed-event trace, the same fault tally,
+// and the same transport metrics, run after run. This is what makes a
+// fault scenario debuggable — a failure seen once can be re-run under a
+// tracer.
+func TestFaultProfileReplayDeterminism(t *testing.T) {
+	for _, profile := range FaultProfileNames() {
+		render := func() string {
+			cloud := New(Options{Seed: 23, FaultProfile: profile})
+			cloud.Sim.EnableTrace(2048)
+			a, b := cloud.Node(0), cloud.Node(1)
+			if err := b.Shell.Engine.OpenRecv(5, netsim.HostIP(0), nil); err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Shell.Engine.OpenSend(5, netsim.HostIP(1), netsim.HostMAC(1), 5, 0, nil); err != nil {
+				t.Fatal(err)
+			}
+			completed := 0
+			payload := make([]byte, 256)
+			var send func(i int)
+			send = func(i int) {
+				if i >= 100 {
+					return
+				}
+				// Sends may fail mid-run (the profile can kill a node);
+				// the error itself must also replay identically.
+				err := a.Shell.Engine.SendMessage(5, payload, func() { completed++ })
+				cloud.Sim.Schedule(20*Microsecond, func() { send(i + 1) })
+				_ = err
+			}
+			cloud.Sim.Schedule(0, func() { send(0) })
+			cloud.Run(10 * Millisecond)
+
+			eng := a.Shell.Engine
+			return fmt.Sprintf("completed=%d retx=%d timeouts=%d nacks=%d\n%s%s",
+				completed,
+				eng.Stats.Retransmits.Value(),
+				eng.Stats.Timeouts.Value(),
+				eng.Stats.NacksRecv.Value(),
+				cloud.Faults.Stats.Table().String(),
+				cloud.Sim.TraceString())
+		}
+		if a, b := render(), render(); a != b {
+			t.Errorf("profile %q does not replay deterministically", profile)
 		}
 	}
 }

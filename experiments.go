@@ -28,7 +28,7 @@ type Table = metrics.Table
 // management, all running on the same substrates.
 var ExperimentIDs = []string{
 	"fig5", "power", "reliability", "fig6", "fig7", "fig8", "crypto",
-	"fig10", "fig11", "fig12", "haas", "ltlloss",
+	"fig10", "fig11", "fig12", "haas", "ltlloss", "faults",
 	"ext-bioinfo", "ext-compression",
 }
 
@@ -79,6 +79,8 @@ func RunExperiment(id string, scale Scale) ([]*Table, error) {
 		return []*Table{ExpHaaS()}, nil
 	case "ltlloss":
 		return []*Table{ExpLTLLoss(scale)}, nil
+	case "faults":
+		return ExpFaults(scale), nil
 	case "ext-bioinfo":
 		return []*Table{ExpBioinfo()}, nil
 	case "ext-compression":
@@ -401,6 +403,88 @@ func ExpHaaS() *Table {
 	t.AddRow("unallocated after repair", rm.FreeCount())
 	rm.Stop()
 	return t
+}
+
+// echoRole is the trivial role used by fault experiments: it answers
+// every request with its payload, and exists so SEU-induced wedges have a
+// running role to hang.
+type echoRole struct{}
+
+func (echoRole) Name() string { return "echo" }
+func (echoRole) HandleRequest(_ shell.RequestSource, p []byte, respond func([]byte)) {
+	respond(p)
+}
+
+// ExpFaults runs an LTL messaging workload across several same-TOR pairs
+// under a faultinject profile (the process default from -faults, else
+// "chaos") and reports delivery outcomes next to the injector's fault
+// tally and recovery-latency histograms. The scrub interval is shortened
+// so role-wedge recovery is observable within the run.
+func ExpFaults(scale Scale) []*Table {
+	prof := defaultFaultProfile
+	if prof == "" {
+		prof = "chaos"
+	}
+	msgs := 200
+	runFor := 60 * Millisecond
+	if scale == Full {
+		msgs = 1500
+		runFor = 400 * Millisecond
+	}
+
+	shCfg := shell.DefaultConfig()
+	shCfg.ScrubInterval = 10 * Millisecond // wedge repairs land inside the window
+	shCfg.FullReconfigTime = 2 * Millisecond
+	cloud := New(Options{Seed: 42, Shell: shCfg, FaultProfile: prof})
+
+	const pairs = 4
+	gap := runFor * 8 / 10 / sim.Time(msgs) // sends span ~80% of the window
+	h := metrics.NewHistogram()
+	delivered, connFailed := 0, 0
+	attempted := make([]int, pairs)
+	for p := 0; p < pairs; p++ {
+		p := p
+		a, b := cloud.Node(2*p), cloud.Node(2*p+1)
+		a.Shell.LoadRole(echoRole{})
+		b.Shell.LoadRole(echoRole{})
+		conn := uint16(10 + p)
+		must(b.Shell.Engine.OpenRecv(conn, netsim.HostIP(a.ID), nil))
+		must(a.Shell.Engine.OpenSend(conn, netsim.HostIP(b.ID), netsim.HostMAC(b.ID), conn, 0,
+			func() { connFailed++ }))
+		payload := make([]byte, 256)
+		var send func(i int)
+		send = func(i int) {
+			if i >= msgs {
+				return
+			}
+			t0 := cloud.Sim.Now()
+			if err := a.Shell.Engine.SendMessage(conn, payload, func() {
+				h.Observe(int64(cloud.Sim.Now() - t0))
+				delivered++
+			}); err != nil {
+				return // connection declared failed; stop this pair
+			}
+			attempted[p]++
+			cloud.Sim.Schedule(gap, func() { send(i + 1) })
+		}
+		cloud.Sim.Schedule(0, func() { send(0) })
+	}
+	cloud.Run(runFor)
+
+	total := 0
+	for _, n := range attempted {
+		total += n
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Fault injection — LTL workload under the %q profile (%d same-TOR pairs)", prof, pairs),
+		Headers: []string{"metric", "value"},
+	}
+	t.AddRow("messages attempted", total)
+	t.AddRow("messages completed", delivered)
+	t.AddRow("connections declared failed", connFailed)
+	t.AddRow("completion RTT mean", sim.Time(int64(h.Mean())).String())
+	t.AddRow("completion RTT p99", sim.Time(h.Percentile(99)).String())
+	return []*Table{t, cloud.Faults.Stats.Table()}
 }
 
 // ExpLTLLoss measures LTL reliability machinery under injected frame loss

@@ -114,7 +114,11 @@ func DefaultPortConfig() PortConfig {
 	return c
 }
 
-// PortStats aggregates per-port counters.
+// PortStats aggregates per-port counters. Congestion losses (DropsRED,
+// DropsTail) and injected faults (DropsInjected and friends) are counted
+// separately so conservation checks can reconcile every frame: frames
+// delivered to the peer equal TxFrames minus injected drops plus injected
+// duplicates.
 type PortStats struct {
 	TxFrames   metrics.Counter
 	TxBytes    metrics.Counter
@@ -126,7 +130,51 @@ type PortStats struct {
 	PFCRecv    metrics.Counter
 	QueueDepth metrics.Gauge // bytes, all classes
 	QueueDelay *metrics.Histogram
+
+	// Fault-injection counters (see FaultHook): frames eaten, duplicated,
+	// corrupted, or delayed on the wire by an installed fault hook. A
+	// corrupted frame that no longer parses is dropped by the peer's MAC on
+	// its FCS and counted under both CorruptInjected and DropsInjected.
+	DropsInjected   metrics.Counter
+	DupsInjected    metrics.Counter
+	CorruptInjected metrics.Counter
+	DelayedInjected metrics.Counter
 }
+
+// FaultOp selects the wire-level fault applied to one frame.
+type FaultOp int
+
+const (
+	// FaultNone delivers the frame normally.
+	FaultNone FaultOp = iota
+	// FaultDrop eats the frame on the wire.
+	FaultDrop
+	// FaultDuplicate delivers the frame and an extra copy Delay later.
+	FaultDuplicate
+	// FaultCorrupt flips bytes (via Corrupt) in a private copy of the
+	// frame before delivery. If the mangled frame no longer decodes, the
+	// peer's MAC rejects it on FCS and it becomes an injected drop.
+	FaultCorrupt
+	// FaultDelay holds the frame on the wire an extra Delay. Delaying one
+	// frame past the next also reorders: propagation is modeled per-frame,
+	// so later frames overtake it.
+	FaultDelay
+)
+
+// FaultDecision is a fault hook's verdict for one frame.
+type FaultDecision struct {
+	Op FaultOp
+	// Delay is the extra wire delay for FaultDelay, or the offset of the
+	// extra copy for FaultDuplicate.
+	Delay sim.Time
+	// Corrupt mutates a private copy of the frame bytes for FaultCorrupt.
+	Corrupt func(buf []byte)
+}
+
+// FaultHook inspects each frame as it leaves a port and decides its fate.
+// Hooks run at serialization completion, in deterministic event order; they
+// must not retain packet.
+type FaultHook func(p *Port, packet *Packet) FaultDecision
 
 // Port is one end of a full-duplex link. Egress queuing, PFC pause state,
 // and the transmitter live here; receive is a callback into the owning
@@ -138,6 +186,7 @@ type Port struct {
 	rng   *rand.Rand
 	peer  *Port
 	cfg   PortConfig
+	fault FaultHook
 
 	queues      [pkt.NumClasses][]*Packet
 	queuedBytes [pkt.NumClasses]int
@@ -148,6 +197,9 @@ type Port struct {
 
 	Stats PortStats
 }
+
+// SetFaultHook installs (or, with nil, removes) the port's fault hook.
+func (p *Port) SetFaultHook(h FaultHook) { p.fault = h }
 
 // Index returns the port's number within its device.
 func (p *Port) Index() int { return p.index }
@@ -334,13 +386,53 @@ func (p *Port) transmit(packet *Packet) {
 	p.sim.Schedule(ser, func() {
 		p.busy = false
 		if peer != nil && peer.peer == p { // link may have failed mid-flight
-			prop := p.cfg.Link.Prop
-			p.sim.Schedule(prop, func() {
-				peer.Stats.RxFrames.Inc()
-				peer.dev.HandleFrame(peer, packet)
-			})
+			p.deliver(peer, packet)
 		}
 		p.kick()
+	})
+}
+
+// deliver propagates packet to peer, applying the port's fault hook (if
+// any) now that the frame is fully on the wire.
+func (p *Port) deliver(peer *Port, packet *Packet) {
+	prop := p.cfg.Link.Prop
+	if p.fault != nil {
+		switch d := p.fault(p, packet); d.Op {
+		case FaultDrop:
+			p.Stats.DropsInjected.Inc()
+			return
+		case FaultDuplicate:
+			p.Stats.DupsInjected.Inc()
+			dup := NewPacket(append([]byte(nil), packet.Buf...))
+			extra := d.Delay
+			if extra <= 0 {
+				extra = prop
+			}
+			p.sim.Schedule(prop+extra, func() {
+				peer.Stats.RxFrames.Inc()
+				peer.dev.HandleFrame(peer, dup)
+			})
+		case FaultCorrupt:
+			p.Stats.CorruptInjected.Inc()
+			buf := append([]byte(nil), packet.Buf...)
+			if d.Corrupt != nil {
+				d.Corrupt(buf)
+			}
+			f, err := pkt.Decode(buf)
+			if err != nil {
+				// The mangled frame fails the peer MAC's FCS check.
+				p.Stats.DropsInjected.Inc()
+				return
+			}
+			packet = &Packet{Buf: buf, F: f, EnqueuedAt: packet.EnqueuedAt}
+		case FaultDelay:
+			p.Stats.DelayedInjected.Inc()
+			prop += d.Delay
+		}
+	}
+	p.sim.Schedule(prop, func() {
+		peer.Stats.RxFrames.Inc()
+		peer.dev.HandleFrame(peer, packet)
 	})
 }
 

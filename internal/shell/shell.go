@@ -165,6 +165,11 @@ type Shell struct {
 
 	bridgeUp     bool
 	goldenLoaded bool
+	failed       bool // hard failure: down until Repair, no auto-recovery
+
+	// OnScrubRepair, if set, is called whenever a scrub pass repairs a
+	// hung role — lets fault harnesses measure wedge-to-recovery latency.
+	OnScrubRepair func()
 
 	// lossRate injects egress frame loss on the TOR link (fault
 	// injection: an unstable 40G link like the one §II-B replaced).
@@ -410,6 +415,9 @@ func (sh *Shell) Reconfigure(partial bool, newRole Role) {
 		sh.bridgeUp = false
 	}
 	sh.sim.Schedule(dur, func() {
+		if sh.failed {
+			return // died mid-reconfig; Repair owns recovery
+		}
 		sh.bridgeUp = true
 		sh.LoadRole(newRole)
 	})
@@ -423,10 +431,47 @@ func (sh *Shell) PowerCycle() {
 	sh.roleUp = false
 	sh.roleHung = false
 	sh.sim.Schedule(sh.cfg.FullReconfigTime, func() {
+		if sh.failed {
+			return // died mid-cycle; Repair owns recovery
+		}
 		sh.bridgeUp = true
 		sh.goldenLoaded = true
 	})
 }
+
+// Fail hard-kills the FPGA (the §II-B "hard failure" class: board or
+// datacenter-network issues needing manual intervention). The bridge goes
+// down, the role slot empties, and nothing auto-recovers until Repair.
+func (sh *Shell) Fail() {
+	sh.failed = true
+	sh.bridgeUp = false
+	sh.role = nil
+	sh.roleUp = false
+	sh.roleHung = false
+}
+
+// Repair models the manual fix/replacement of a hard-failed board: the
+// golden image reloads and the bridge returns after a full reconfiguration.
+func (sh *Shell) Repair() {
+	if !sh.failed {
+		return
+	}
+	sh.failed = false
+	sh.sim.Schedule(sh.cfg.FullReconfigTime, func() {
+		if sh.failed {
+			return
+		}
+		sh.bridgeUp = true
+		sh.goldenLoaded = true
+	})
+}
+
+// Failed reports whether the shell is hard-failed (down until Repair).
+func (sh *Shell) Failed() bool { return sh.failed }
+
+// BridgeUp reports whether the NIC<->TOR bridge is currently passing
+// traffic.
+func (sh *Shell) BridgeUp() bool { return sh.bridgeUp }
 
 // InjectSEU flips configuration bits. With probability hangRole the role
 // wedges until the next scrub pass (the paper observed one such hang).
@@ -441,10 +486,16 @@ func (sh *Shell) InjectSEU(hangRole bool) {
 // scrub is the periodic configuration scrubber: it repairs flipped bits
 // and recovers hung roles automatically.
 func (sh *Shell) scrub() {
+	if sh.failed {
+		return // no scrubbing on a dead board
+	}
 	sh.Stats.ScrubPasses.Inc()
 	if sh.roleHung {
 		sh.roleHung = false
 		sh.Stats.ScrubRepairs.Inc()
+		if sh.OnScrubRepair != nil {
+			sh.OnScrubRepair()
+		}
 	}
 }
 
