@@ -20,6 +20,7 @@ import (
 	"repro/internal/reliability"
 	"repro/internal/shell"
 	"repro/internal/sim"
+	"repro/internal/svclb"
 	"repro/internal/torus"
 )
 
@@ -185,6 +186,21 @@ func BenchmarkFig12Oversubscription(b *testing.B) {
 	b.ReportMetric(float64(pts[0].Avg)/float64(base.Avg), "avg-x-local@1:1")
 	b.ReportMetric(float64(pts[len(pts)-1].P99)/float64(base.P99), "p99-x-local@6:1")
 	b.ReportMetric(cfg.KneeClientsPerFPGA(), "knee-clients/fpga") // paper: 22.5
+}
+
+func BenchmarkSvcLBP2CPool(b *testing.B) {
+	// One balancer run at the knee region: p2c + admission over a 2-FPGA
+	// HaaS pool at 12 clients/FPGA (E14's headline operating point).
+	cfg := svclb.DefaultConfig()
+	cfg.Clients = 24
+	cfg.Warmup = 30 * sim.Millisecond
+	cfg.Duration = 150 * sim.Millisecond
+	var r svclb.Result
+	for i := 0; i < b.N; i++ {
+		r = svclb.Run(cfg)
+	}
+	b.ReportMetric(r.P99.Micros(), "p99-us")
+	b.ReportMetric(r.Goodput*100, "goodput-%")
 }
 
 func BenchmarkSec5HaaS(b *testing.B) {

@@ -7,6 +7,7 @@
 //	ccexperiment -exp fig10          # one experiment, quick sizing
 //	ccexperiment -exp all -full      # everything at paper-like sizing
 //	ccexperiment -exp faults -faults lossy   # run under a fault profile
+//	ccexperiment -exp svclb -lb jsq          # pick the routing policy
 package main
 
 import (
@@ -23,6 +24,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables (for plotting)")
 	faults := flag.String("faults", "", "run experiments under a fault profile (see -list)")
+	lb := flag.String("lb", "", "service-level load-balancing policy for svclb/fig12 (see -list)")
 	flag.Parse()
 
 	if *list {
@@ -33,9 +35,17 @@ func main() {
 		for _, name := range configcloud.FaultProfileNames() {
 			fmt.Println(name)
 		}
+		fmt.Println("\nload-balancing policies (-lb):")
+		for _, name := range configcloud.LBPolicyNames() {
+			fmt.Println(name)
+		}
 		return
 	}
 	if err := configcloud.SetDefaultFaultProfile(*faults); err != nil {
+		fmt.Fprintf(os.Stderr, "ccexperiment: %v\n", err)
+		os.Exit(1)
+	}
+	if err := configcloud.SetDefaultLB(*lb); err != nil {
 		fmt.Fprintf(os.Stderr, "ccexperiment: %v\n", err)
 		os.Exit(1)
 	}

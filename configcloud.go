@@ -26,6 +26,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/shell"
 	"repro/internal/sim"
+	"repro/internal/svclb"
 )
 
 // Re-exported core types: the facade is the supported import surface.
@@ -93,6 +94,27 @@ func SetDefaultFaultProfile(name string) error {
 
 // FaultProfileNames lists the built-in fault profiles.
 func FaultProfileNames() []string { return faultinject.ProfileNames() }
+
+// defaultLB is the process-wide service-level load-balancing policy — how
+// cmd/ccexperiment's -lb flag reaches the svclb and dnn-pool experiments
+// without threading an option through each one. Empty leaves each
+// experiment on its documented default.
+var defaultLB string
+
+// SetDefaultLB sets (or, with "", clears) the routing policy used by
+// subsequently run load-balanced experiments. Unknown names error.
+func SetDefaultLB(name string) error {
+	if name != "" {
+		if _, err := svclb.NewPolicy(name); err != nil {
+			return err
+		}
+	}
+	defaultLB = name
+	return nil
+}
+
+// LBPolicyNames lists the built-in svclb routing policies.
+func LBPolicyNames() []string { return svclb.PolicyNames() }
 
 // Node pairs a server with its FPGA shell.
 type Node struct {

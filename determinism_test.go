@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/netsim"
+	"repro/internal/svclb"
 )
 
 // Every experiment is a pure function of its seed: rendering the same
@@ -76,6 +77,31 @@ func TestFaultProfileReplayDeterminism(t *testing.T) {
 		}
 		if a, b := render(), render(); a != b {
 			t.Errorf("profile %q does not replay deterministically", profile)
+		}
+	}
+}
+
+// Service-level load balancing replays bit-identically: for every policy,
+// the same seed yields the same routing-decision digest (RouteHash) and
+// the same percentile outputs, hedging and cancellation included.
+func TestSvcLBRoutingDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the balancer twice per policy")
+	}
+	cfg := svclb.DefaultConfig()
+	cfg.Clients = 8
+	cfg.Warmup = 20 * Millisecond
+	cfg.Duration = 100 * Millisecond
+	cfg.Drain = 50 * Millisecond
+	cfg.HedgeDelay = 2 * cfg.ServiceTime // exercise hedge + cancel paths too
+	for _, policy := range svclb.PolicyNames() {
+		cfg.Policy = policy
+		a, b := svclb.Run(cfg), svclb.Run(cfg)
+		if a.RouteHash != b.RouteHash {
+			t.Errorf("%s: routing decisions diverged: %x vs %x", policy, a.RouteHash, b.RouteHash)
+		}
+		if a != b {
+			t.Errorf("%s: results diverged:\n%+v\n%+v", policy, a, b)
 		}
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/reliability"
 	"repro/internal/shell"
 	"repro/internal/sim"
+	"repro/internal/svclb"
 )
 
 // Table is the experiment output format.
@@ -28,7 +29,7 @@ type Table = metrics.Table
 // management, all running on the same substrates.
 var ExperimentIDs = []string{
 	"fig5", "power", "reliability", "fig6", "fig7", "fig8", "crypto",
-	"fig10", "fig11", "fig12", "haas", "ltlloss", "faults",
+	"fig10", "fig11", "fig12", "haas", "ltlloss", "faults", "svclb",
 	"ext-bioinfo", "ext-compression",
 }
 
@@ -81,6 +82,8 @@ func RunExperiment(id string, scale Scale) ([]*Table, error) {
 		return []*Table{ExpLTLLoss(scale)}, nil
 	case "faults":
 		return ExpFaults(scale), nil
+	case "svclb":
+		return []*Table{ExpSvcLB(scale)}, nil
 	case "ext-bioinfo":
 		return []*Table{ExpBioinfo()}, nil
 	case "ext-compression":
@@ -278,6 +281,7 @@ func ExpFig11(scale Scale) *Table {
 // normalized to the locally-attached baseline.
 func ExpFig12(scale Scale) *Table {
 	cfg := dnnpool.DefaultConfig()
+	cfg.LB = defaultLB // -lb swaps static SM assignment for routed dispatch
 	var counts []int
 	if scale == Quick {
 		cfg.Clients = 12
@@ -300,6 +304,47 @@ func ExpFig12(scale Scale) *Table {
 			float64(p.P95)/float64(base.P95),
 			float64(p.P99)/float64(base.P99),
 			p.Completed)
+	}
+	return t
+}
+
+// ExpSvcLB sweeps client:FPGA oversubscription under each service-level
+// routing policy (the Sec. V-F extension: the SM as an informed load
+// balancer rather than a static pointer server). A point is "sustained"
+// when windowed p99 holds the bound with goodput intact; the headline is
+// the extra oversubscription the informed policy + admission control buy
+// over naive random dispatch. With -lb set, only that policy (with and
+// without admission) is compared against the random baseline.
+func ExpSvcLB(scale Scale) *Table {
+	sc := svclb.DefaultSweepConfig()
+	if scale == Quick {
+		sc.Base.Warmup = 30 * Millisecond
+		sc.Base.Duration = 200 * Millisecond
+		sc.ClientCounts = []int{24, 32, 40}
+	}
+	variants := svclb.DefaultVariants()
+	if defaultLB != "" {
+		variants = []svclb.Variant{
+			{Policy: svclb.PolicyRandom, Admission: false},
+			{Policy: defaultLB, Admission: false},
+			{Policy: defaultLB, Admission: true},
+		}
+	}
+	results := svclb.ComparePolicies(sc, variants)
+
+	t := &Table{
+		Title: fmt.Sprintf("Sec. V-F extension — SM load balancing (%d-FPGA pool; sustain = p99 <= %v, goodput >= %.0f%%)",
+			sc.Base.FPGAs, sc.P99Bound, sc.MinGoodput*100),
+		Headers: []string{"policy", "clients/FPGA", "p99", "admit rate", "goodput", "hedged", "sustained"},
+	}
+	for _, sr := range results {
+		for _, p := range sr.Points {
+			t.AddRow(sr.Label, svclb.RatioLabel(p), p.P99.String(),
+				fmt.Sprintf("%.3f", p.AdmitRate), fmt.Sprintf("%.3f", p.Goodput),
+				p.Hedged, sc.Sustained(p))
+		}
+		t.AddRow(fmt.Sprintf("=> %s max sustained ratio", sr.Label),
+			fmt.Sprintf("%.1f", sr.MaxSustainedRatio), "-", "-", "-", "-", "-")
 	}
 	return t
 }

@@ -24,6 +24,7 @@ import (
 	"repro/internal/pkt"
 	"repro/internal/shell"
 	"repro/internal/sim"
+	"repro/internal/svclb"
 	"repro/internal/workload"
 )
 
@@ -41,6 +42,11 @@ type Config struct {
 	RespBytes  int
 	Duration   sim.Time
 	Warmup     sim.Time
+	// LB, when non-empty, names an svclb routing policy: instead of the
+	// static SM pointer handed to each client, every request is routed
+	// through a service-level balancer over the whole pool (fed stale
+	// periodic depth reports, as the gossip plane would provide).
+	LB string
 }
 
 // DefaultConfig calibrates the knee at ~22.5 clients per FPGA:
@@ -164,22 +170,51 @@ func RunRemote(cfg Config) Result {
 	// network tail.
 	dc.StartBackgroundLoad(0.05, pkt.ClassRDMA, 1400)
 
+	// With cfg.LB set, the SM routes every request through a service-level
+	// balancer instead of handing out static pointers. Its global view is
+	// refreshed periodically from the pool's queue depths, so informed
+	// policies work from stale data exactly as they would over gossip.
+	var router *svclb.Router
+	if cfg.LB != "" {
+		r, err := svclb.NewRouter(s.NewRand(), cfg.LB)
+		if err != nil {
+			panic(fmt.Sprintf("dnnpool: %v", err))
+		}
+		router = r
+		for _, fh := range poolHosts {
+			router.AddSlot(fh)
+		}
+		s.Every(100*sim.Microsecond, 100*sim.Microsecond, func() {
+			for _, fh := range poolHosts {
+				q := queues[fh]
+				router.ReportDepth(fh, q.Queued()+q.Busy(), s.Now())
+			}
+		})
+	}
+
+	type pendingReq struct {
+		t0   sim.Time
+		slot *svclb.Slot
+	}
 	nextReq := uint64(0)
 	for _, ch := range clientHosts {
 		cs := shells[ch]
-		pending := map[uint64]sim.Time{}
+		pending := map[uint64]pendingReq{}
 		for fi := range poolHosts {
 			fi := fi
 			must(cs.OpenRemoteRecv(uint16(fi)+1000, poolHosts[fi], func(payload []byte) {
 				reqID := binary.BigEndian.Uint64(payload)
-				t0, ok := pending[reqID]
+				p, ok := pending[reqID]
 				if !ok {
 					return
 				}
 				delete(pending, reqID)
+				if router != nil && p.slot != nil {
+					router.Done(p.slot)
+				}
 				s.Schedule(pcieTime(cfg.RespBytes), func() {
-					if t0 >= cfg.Warmup {
-						lat.Observe(int64(s.Now() - t0))
+					if p.t0 >= cfg.Warmup {
+						lat.Observe(int64(s.Now() - p.t0))
 					}
 				})
 			}))
@@ -195,10 +230,17 @@ func RunRemote(cfg Config) Result {
 		assigned := poolIndex[node]
 		gen := workload.NewOpenLoop(s, cfg.ClientRate, func() {
 			fi := assigned
+			var slot *svclb.Slot
+			if router != nil {
+				sl, ok := router.Pick()
+				if !ok {
+					return
+				}
+				slot, fi = sl, poolIndex[haas.NodeID(sl.Host)]
+			}
 			nextReq++
 			reqID := nextReq
-			t0 := s.Now()
-			pending[reqID] = t0
+			pending[reqID] = pendingReq{t0: s.Now(), slot: slot}
 			req := make([]byte, cfg.ReqBytes)
 			binary.BigEndian.PutUint64(req, reqID)
 			s.Schedule(pcieTime(cfg.ReqBytes), func() {

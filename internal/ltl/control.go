@@ -1,0 +1,42 @@
+package ltl
+
+import (
+	"repro/internal/pkt"
+)
+
+// Control datagrams are the service-plane message class of the engine:
+// connection-less, unreliable, fire-and-forget frames for small idempotent
+// control traffic — queue-depth gossip from pool FPGAs to their Service
+// Manager, hedge-cancel notices from a balancer to the losing replica.
+// They consume no connection-table entries (an N-client x M-backend pool
+// would otherwise burn N*M table slots on cancel paths alone) and are
+// never retransmitted: each carries state that the next period's datagram
+// supersedes, so loss costs only staleness.
+//
+// On the wire a control datagram is an LTL frame of type LTLControl; the
+// VC field carries the application-assigned kind.
+
+// ControlHandler receives incoming control datagrams. src is the sending
+// engine's IP; kind is the application-assigned class byte.
+type ControlHandler func(src pkt.IP, kind uint8, payload []byte)
+
+// SetControlHandler installs the engine's control-datagram receiver
+// (nil drops incoming control frames).
+func (e *Engine) SetControlHandler(h ControlHandler) { e.control = h }
+
+// SendControl emits one control datagram toward a remote engine. No
+// connection state is consulted or created; delivery is best-effort.
+func (e *Engine) SendControl(dstIP pkt.IP, dstMAC pkt.MAC, kind uint8, payload []byte) {
+	h := pkt.LTLHeader{Type: pkt.LTLControl, VC: kind}
+	e.Stats.ControlSent.Inc()
+	buf := e.frame(dstIP, dstMAC, pkt.EncodeLTL(h, payload))
+	e.sim.Schedule(e.cfg.TxProc, func() { e.wire.Output(buf) })
+}
+
+// onControl delivers an incoming control datagram to the handler.
+func (e *Engine) onControl(f *pkt.Frame, h pkt.LTLHeader, payload []byte) {
+	e.Stats.ControlRecv.Inc()
+	if e.control != nil {
+		e.control(f.SrcIP, h.VC, payload)
+	}
+}

@@ -22,6 +22,7 @@ func FuzzHandleFrame(f *testing.F) {
 	f.Add(pkt.EncodeLTL(pkt.LTLHeader{Type: pkt.LTLSetupAck, SrcConn: 1, DstConn: 9}, nil))
 	f.Add(pkt.EncodeLTL(pkt.LTLHeader{Type: pkt.LTLTeardown, DstConn: 1}, nil))
 	f.Add(pkt.EncodeLTL(pkt.LTLHeader{Type: pkt.LTLCNP, DstConn: 1}, nil))
+	f.Add(pkt.EncodeLTL(pkt.LTLHeader{Type: pkt.LTLControl, VC: 2}, []byte{0, 0, 0, 9}))
 	f.Add([]byte{pkt.LTLMagic})
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {

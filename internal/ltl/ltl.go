@@ -106,6 +106,8 @@ type Stats struct {
 	MessagesRecv    metrics.Counter
 	ConnFailures    metrics.Counter
 	ThrottleStalls  metrics.Counter
+	ControlSent     metrics.Counter
+	ControlRecv     metrics.Counter
 	MessageRTT      *metrics.Histogram // send -> fully ACKed, ns
 	DeliveryLatency *metrics.Histogram // first frame tx -> message delivered remotely (receiver view)
 }
@@ -179,6 +181,9 @@ type Engine struct {
 	// token bucket for engine-wide bandwidth limiting.
 	tbTokens   float64
 	tbLastFill sim.Time
+
+	// control-datagram receiver (control.go).
+	control ControlHandler
 
 	// dynamic connection setup (setup.go).
 	accept      AcceptFunc
@@ -491,6 +496,8 @@ func (e *Engine) dispatch(f *pkt.Frame, h pkt.LTLHeader, payload []byte) {
 		e.onSetupAck(h)
 	case pkt.LTLTeardown:
 		e.onTeardown(h)
+	case pkt.LTLControl:
+		e.onControl(f, h, payload)
 	}
 }
 

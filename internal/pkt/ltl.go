@@ -39,6 +39,7 @@ const (
 	LTLSetupAck LTLType = 5 // connection establishment acknowledgement
 	LTLTeardown LTLType = 6 // connection deallocation
 	LTLCNP      LTLType = 7 // DCQCN congestion notification packet
+	LTLControl  LTLType = 8 // connection-less control datagram (unreliable)
 )
 
 // String returns the frame type mnemonic.
@@ -58,6 +59,8 @@ func (t LTLType) String() string {
 		return "TEARDOWN"
 	case LTLCNP:
 		return "CNP"
+	case LTLControl:
+		return "CONTROL"
 	default:
 		return fmt.Sprintf("LTLType(%d)", uint8(t))
 	}

@@ -643,3 +643,34 @@ func (sh *Shell) SendRemote(conn uint16, payload []byte, done func()) {
 // RemoteHandler returns the handler registered for a receive connection
 // (nil if none) — used by roles that dispatch on connection.
 func (sh *Shell) RemoteHandler(conn uint16) func([]byte) { return sh.remoteRecv[conn] }
+
+// SendControl emits a connection-less LTL control datagram (best-effort,
+// no retransmission) toward a remote shell — the service-plane class used
+// for queue-depth gossip and hedge-cancel notices.
+func (sh *Shell) SendControl(remoteHost int, kind uint8, payload []byte) error {
+	if sh.Engine == nil {
+		return fmt.Errorf("shell %d: deployed without the LTL block", sh.hostID)
+	}
+	sh.Engine.SendControl(netsim.HostIP(remoteHost), netsim.HostMAC(remoteHost), kind, payload)
+	return nil
+}
+
+// SetControlHandler installs the receiver for incoming control datagrams
+// (nil drops them). The handler sees the sender's host id.
+func (sh *Shell) SetControlHandler(h func(fromHost int, kind uint8, payload []byte)) error {
+	if sh.Engine == nil {
+		return fmt.Errorf("shell %d: deployed without the LTL block", sh.hostID)
+	}
+	if h == nil {
+		sh.Engine.SetControlHandler(nil)
+		return nil
+	}
+	sh.Engine.SetControlHandler(func(src pkt.IP, kind uint8, payload []byte) {
+		id, ok := netsim.HostID(src)
+		if !ok {
+			return
+		}
+		h(id, kind, payload)
+	})
+	return nil
+}

@@ -1,0 +1,118 @@
+package svclb
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// SweepConfig drives the oversubscription sweep: for each client count,
+// one balancer run; a point is "sustained" when its windowed p99 stays
+// under P99Bound while Goodput (window completions per offered request)
+// stays at or above MinGoodput — the second clause keeps an aggressive
+// shedder from trivially "meeting" the bound by rejecting the workload.
+type SweepConfig struct {
+	Base         Config
+	ClientCounts []int
+	// P99Bound is the Fig. 12-style latency ceiling; 0 defaults to
+	// 10x the service time (the knee criterion used by dnnpool).
+	P99Bound   sim.Time
+	MinGoodput float64
+}
+
+// DefaultSweepConfig sweeps client:FPGA ratios across the knee region on
+// a fixed two-FPGA pool.
+func DefaultSweepConfig() SweepConfig {
+	base := DefaultConfig()
+	return SweepConfig{
+		Base:         base,
+		ClientCounts: []int{16, 24, 32, 40},
+		P99Bound:     10 * base.ServiceTime,
+		MinGoodput:   0.95,
+	}
+}
+
+func (sc SweepConfig) withDefaults() SweepConfig {
+	if sc.P99Bound <= 0 {
+		sc.P99Bound = 10 * sc.Base.ServiceTime
+	}
+	if sc.MinGoodput <= 0 {
+		sc.MinGoodput = 0.95
+	}
+	return sc
+}
+
+// Sustained reports whether one run met the sweep's service objective.
+func (sc SweepConfig) Sustained(r Result) bool {
+	sc = sc.withDefaults()
+	return r.Completed > 0 && r.P99 <= sc.P99Bound && r.Goodput >= sc.MinGoodput
+}
+
+// SweepResult is one policy variant's sweep.
+type SweepResult struct {
+	Label     string
+	Policy    string
+	Admission bool
+	Points    []Result
+	// MaxSustainedRatio is the highest swept client:FPGA ratio this
+	// variant sustained with every lower swept ratio also sustained
+	// (0 when even the lightest point failed).
+	MaxSustainedRatio float64
+}
+
+// Sweep runs one policy variant across the client counts.
+func Sweep(sc SweepConfig, policy string, admission bool) SweepResult {
+	sc = sc.withDefaults()
+	label := policy
+	if admission {
+		label += "+ac"
+	}
+	out := SweepResult{Label: label, Policy: policy, Admission: admission}
+	contiguous := true
+	for _, clients := range sc.ClientCounts {
+		cfg := sc.Base
+		cfg.Clients = clients
+		cfg.Policy = policy
+		cfg.Admission = admission
+		r := Run(cfg)
+		out.Points = append(out.Points, r)
+		if contiguous && sc.Sustained(r) {
+			out.MaxSustainedRatio = r.Ratio
+		} else {
+			contiguous = false
+		}
+	}
+	return out
+}
+
+// Variant names one policy/admission combination for ComparePolicies.
+type Variant struct {
+	Policy    string
+	Admission bool
+}
+
+// DefaultVariants contrasts naive random dispatch against the informed
+// policies, with deadline-aware admission on the headline p2c variant.
+func DefaultVariants() []Variant {
+	return []Variant{
+		{PolicyRandom, false},
+		{PolicyRoundRobin, false},
+		{PolicyJSQ, false},
+		{PolicyP2C, false},
+		{PolicyP2C, true},
+	}
+}
+
+// ComparePolicies sweeps every variant under identical workloads.
+func ComparePolicies(sc SweepConfig, variants []Variant) []SweepResult {
+	out := make([]SweepResult, 0, len(variants))
+	for _, v := range variants {
+		out = append(out, Sweep(sc, v.Policy, v.Admission))
+	}
+	return out
+}
+
+// RatioLabel formats a clients-per-FPGA ratio column.
+func RatioLabel(r Result) string {
+	return fmt.Sprintf("%d/%d=%.1f", r.Clients, r.FPGAs, r.Ratio)
+}

@@ -1,0 +1,83 @@
+package svclb
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// WorkQueue is one pool FPGA's in-order accelerator engine with
+// cancellation: queued requests can be pulled back by id (hedge losers),
+// but a request already in service runs to completion — silicon cannot be
+// preempted mid-evaluation, so a late cancel only saves the queue wait.
+type WorkQueue struct {
+	s *sim.Simulation
+
+	waiting []*wqJob
+	cur     *wqJob
+
+	// Completed counts serviced jobs (including cancel misses that were
+	// already in service); Cancelled counts jobs removed while queued;
+	// CancelMisses counts cancels that arrived too late to save work.
+	Completed    metrics.Counter
+	Cancelled    metrics.Counter
+	CancelMisses metrics.Counter
+}
+
+type wqJob struct {
+	id  uint64
+	dur sim.Time
+	run func()
+}
+
+// NewWorkQueue creates an idle queue on s.
+func NewWorkQueue(s *sim.Simulation) *WorkQueue {
+	return &WorkQueue{s: s}
+}
+
+// Depth reports queued plus in-service jobs — the number gossiped to the
+// balancer as the backend's load.
+func (q *WorkQueue) Depth() int {
+	d := len(q.waiting)
+	if q.cur != nil {
+		d++
+	}
+	return d
+}
+
+// Submit enqueues a job that runs for dur and then invokes run.
+func (q *WorkQueue) Submit(id uint64, dur sim.Time, run func()) {
+	j := &wqJob{id: id, dur: dur, run: run}
+	if q.cur != nil {
+		q.waiting = append(q.waiting, j)
+		return
+	}
+	q.start(j)
+}
+
+func (q *WorkQueue) start(j *wqJob) {
+	q.cur = j
+	q.s.Schedule(j.dur, func() {
+		q.cur = nil
+		q.Completed.Inc()
+		j.run()
+		if len(q.waiting) > 0 {
+			next := q.waiting[0]
+			q.waiting = q.waiting[1:]
+			q.start(next)
+		}
+	})
+}
+
+// Cancel removes a still-queued job by id; it reports false (a miss) when
+// the job is in service, already done, or unknown.
+func (q *WorkQueue) Cancel(id uint64) bool {
+	for i, j := range q.waiting {
+		if j.id == id {
+			q.waiting = append(q.waiting[:i], q.waiting[i+1:]...)
+			q.Cancelled.Inc()
+			return true
+		}
+	}
+	q.CancelMisses.Inc()
+	return false
+}

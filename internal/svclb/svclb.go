@@ -1,0 +1,721 @@
+// Package svclb is the service-level load-balancing layer of §V-F: a
+// Service Manager for a pool of HaaS-leased FPGAs that routes client
+// requests through pluggable policies (random, round-robin,
+// join-shortest-queue, power-of-two-choices over stale gossiped queue
+// depths), sheds load that cannot meet its deadline, optionally hedges
+// slow requests onto a second replica (cancelling the loser), and grows
+// or shrinks its lease set as the windowed tail latency crosses
+// watermarks.
+//
+// The data plane is fully packet-level: requests cross PCIe, LTL, and the
+// simulated fabric exactly as dnnpool's do. The control plane uses the
+// LTL control-datagram class — pool FPGAs gossip their queue depth to the
+// SM host every gossip period (so the balancer's global view is stale by
+// the period plus the wire, which is precisely what power-of-two-choices
+// is robust to), and hedge cancels travel best-effort to the losing
+// backend's queue. Everything draws from the simulation seed: a run is
+// bit-identical under replay, including its routing decisions (witnessed
+// by Result.RouteHash).
+package svclb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/faultinject"
+	"repro/internal/haas"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/pkt"
+	"repro/internal/shell"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Control-datagram kinds used on the service plane.
+const (
+	ctrlDepth  uint8 = 1 // backend -> SM: uint32 queue depth
+	ctrlCancel uint8 = 2 // client -> backend: uint64 request id to cancel
+)
+
+const serviceImage = "svclb-v1"
+
+// Config parameterizes one balancer run.
+type Config struct {
+	Seed    int64
+	Clients int
+	// FPGAs is the initial leased pool size; Spares are additional
+	// registered-but-free nodes available for failover and autoscale.
+	FPGAs  int
+	Spares int
+	Policy string
+
+	ServiceTime sim.Time
+	ClientRate  float64
+	ReqBytes    int
+	RespBytes   int
+
+	Duration sim.Time
+	Warmup   sim.Time
+	// Drain keeps the simulation running after arrivals stop so every
+	// admitted request can complete (the conservation check behind the
+	// no-client-visible-loss guarantee).
+	Drain sim.Time
+
+	// GossipInterval is the backend depth-gossip period (staleness of the
+	// balancer's global view).
+	GossipInterval sim.Time
+
+	// Admission enables deadline-aware shedding: a request is rejected at
+	// arrival when the chosen backend's estimated completion time exceeds
+	// Deadline.
+	Admission bool
+	Deadline  sim.Time
+	// NetOverhead is the admission estimator's allowance for everything
+	// that is not queueing (PCIe both ways plus the fabric); 0 derives it
+	// from the shell config.
+	NetOverhead sim.Time
+
+	// HedgeDelay, when positive, sends a second copy of a request that has
+	// not completed after the delay to a different backend; the first
+	// response wins and the loser is cancelled.
+	HedgeDelay sim.Time
+
+	// RMPoll is the HaaS health-poll period (failure-detection latency).
+	RMPoll sim.Time
+
+	Autoscale AutoscaleConfig
+
+	// KillAt, when positive, hard-kills one pool FPGA at that time; the
+	// balancer must mask it via HaaS replacement and resend.
+	KillAt sim.Time
+
+	// BackgroundLoad is the fraction of fabric capacity used by other
+	// tenants' lossless traffic.
+	BackgroundLoad float64
+}
+
+// DefaultConfig returns a moderately oversubscribed pool (16 clients per
+// FPGA against a 22.5 knee) under the p2c policy with admission control.
+func DefaultConfig() Config {
+	return Config{
+		Seed:           11,
+		Clients:        32,
+		FPGAs:          2,
+		Spares:         2,
+		Policy:         PolicyP2C,
+		ServiceTime:    250 * sim.Microsecond,
+		ClientRate:     177.8,
+		ReqBytes:       2 << 10,
+		RespBytes:      256,
+		Duration:       300 * sim.Millisecond,
+		Warmup:         50 * sim.Millisecond,
+		Drain:          50 * sim.Millisecond,
+		GossipInterval: 100 * sim.Microsecond,
+		Admission:      true,
+		Deadline:       2500 * sim.Microsecond,
+		HedgeDelay:     0,
+		RMPoll:         sim.Millisecond,
+		BackgroundLoad: 0.05,
+	}
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Policy == "" {
+		cfg.Policy = PolicyP2C
+	}
+	if cfg.Drain <= 0 {
+		cfg.Drain = 50 * sim.Millisecond
+	}
+	if cfg.GossipInterval <= 0 {
+		cfg.GossipInterval = 100 * sim.Microsecond
+	}
+	if cfg.RMPoll <= 0 {
+		cfg.RMPoll = sim.Millisecond
+	}
+	if cfg.Admission && cfg.Deadline <= 0 {
+		cfg.Deadline = 10 * cfg.ServiceTime
+	}
+	return cfg
+}
+
+// KneeClientsPerFPGA returns the analytic saturation ratio for cfg.
+func (cfg Config) KneeClientsPerFPGA() float64 {
+	return 1 / (cfg.ServiceTime.Seconds() * cfg.ClientRate)
+}
+
+// Result is one balancer run's outcome.
+type Result struct {
+	Policy  string
+	Clients int
+	FPGAs   int
+	Ratio   float64 // clients per initially-leased FPGA
+
+	// Totals over the whole run (warmup, window, and drain) — Admitted ==
+	// Completed is the no-loss conservation law once arrivals stop.
+	Offered   uint64
+	Admitted  uint64
+	Shed      uint64
+	Completed uint64
+
+	// Measurement-window latency (requests arriving in [Warmup,
+	// Warmup+Duration)).
+	Avg sim.Time
+	P50 sim.Time
+	P95 sim.Time
+	P99 sim.Time
+	// AdmitRate and Goodput are window-scoped: admitted/offered and
+	// completed/offered.
+	AdmitRate float64
+	Goodput   float64
+
+	Hedged     uint64
+	HedgeWins  uint64
+	Cancels    uint64
+	CancelHits uint64 // cancels that pulled the loser out of a queue in time
+
+	Failovers uint64
+	Resent    uint64
+	Grown     uint64
+	Shrunk    uint64
+
+	FinalBackends int
+	// RouteHash digests every routing decision: the determinism witness.
+	RouteHash uint64
+	// Recovery is the injector-observed kill->masked latency (0 when no
+	// kill was injected).
+	Recovery sim.Time
+}
+
+type reqCopy struct {
+	slot  *Slot
+	hedge bool // this copy was created by the hedge timer
+	gone  bool // cancelled (hedge loser) or orphaned (backend died)
+}
+
+type pendingReq struct {
+	id         uint64
+	client     int // client index
+	t0         sim.Time
+	copies     []*reqCopy
+	hedgeEv    *sim.Event
+	failedOver bool
+}
+
+type clientEnd struct {
+	host int
+	sh   *shell.Shell
+}
+
+// Balancer is the Service Manager: it owns the lease set, the routing
+// view, and every in-flight request. The routing decision is shared state
+// between the SM and the clients it hands pointers to — only the load
+// signals it decides on travel the simulated network.
+type Balancer struct {
+	s   *sim.Simulation
+	cfg Config
+
+	rm     *haas.ResourceManager
+	in     *faultinject.Injector
+	router *Router
+
+	shells  map[int]*shell.Shell
+	clients []clientEnd
+	smHost  int
+
+	queues  map[int]*WorkQueue
+	leaseOf map[int]int // backend host -> lease id
+	leases  []int       // grant order (shrink pops the newest)
+	gossip  map[int]*sim.Ticker
+	unwire  map[int]func() // per-host teardown of a previous wiring epoch
+
+	pending map[uint64]*pendingReq
+	nextReq uint64
+
+	winLat   *metrics.Windowed  // all completions (autoscale control signal)
+	measured *metrics.Histogram // window-scoped completions (the result)
+	pcie     func(int) sim.Time
+
+	started bool // past initial lease setup: grows/shrinks are elastic events
+
+	offered, admitted, shed, completed     uint64
+	wOffered, wAdmitted, wCompleted        uint64
+	hedged, hedgeWins, cancels, cancelHits uint64
+	failovers, resent, grown, shrunk       uint64
+
+	killAt        sim.Time
+	awaitRecovery bool
+}
+
+// Run executes one balancer measurement.
+func Run(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	s := sim.New(cfg.Seed)
+	dcCfg := netsim.DefaultConfig()
+	shells := map[int]*shell.Shell{}
+	dcCfg.Interposer = func(dc *netsim.Datacenter, hostID int) netsim.Interposer {
+		sh := shell.New(dc.Sim, hostID, netsim.DefaultPortConfig(), shell.DefaultConfig())
+		shells[hostID] = sh
+		return sh
+	}
+	dc := netsim.NewDatacenter(s, dcCfg)
+
+	// Clients fill TORs from host 0; the SM host and the pool candidates
+	// live on the next TORs, so request and gossip traffic cross the L1
+	// tier like a real global pool's.
+	b := &Balancer{
+		s: s, cfg: cfg,
+		shells:  shells,
+		queues:  map[int]*WorkQueue{},
+		leaseOf: map[int]int{},
+		gossip:  map[int]*sim.Ticker{},
+		unwire:  map[int]func(){},
+		pending: map[uint64]*pendingReq{},
+		winLat:  metrics.NewWindowed(),
+	}
+	for i := 0; i < cfg.Clients; i++ {
+		dc.Host(i)
+		b.clients = append(b.clients, clientEnd{host: i, sh: shells[i]})
+	}
+	base := ((cfg.Clients + dcCfg.HostsPerTOR - 1) / dcCfg.HostsPerTOR) * dcCfg.HostsPerTOR
+	b.smHost = base
+	dc.Host(base)
+	poolSize := cfg.FPGAs + cfg.Spares
+	if cfg.Autoscale.Interval > 0 && cfg.Autoscale.Max > cfg.FPGAs {
+		poolSize = cfg.Autoscale.Max + cfg.Spares
+	}
+	poolHosts := make([]int, poolSize)
+	for i := range poolHosts {
+		poolHosts[i] = base + 1 + i
+		dc.Host(base + 1 + i)
+	}
+
+	pcieCfg := shell.DefaultConfig()
+	b.pcie = func(n int) sim.Time {
+		return pcieCfg.PCIeLatency + sim.Time(int64(n)*8*int64(sim.Second)/pcieCfg.PCIeBps)
+	}
+	if b.cfg.Admission && b.cfg.NetOverhead <= 0 {
+		b.cfg.NetOverhead = b.pcie(cfg.ReqBytes) + b.pcie(cfg.RespBytes) + 20*sim.Microsecond
+	}
+	b.measured = metrics.NewHistogram()
+
+	rng := s.NewRand()
+	router, err := NewRouter(rng, cfg.Policy)
+	if err != nil {
+		panic(err)
+	}
+	b.router = router
+
+	b.rm = haas.NewResourceManager(s, haas.RMConfig{
+		HealthPollInterval: cfg.RMPoll,
+		PodOf:              func(id haas.NodeID) int { p, _, _ := dc.Locate(int(id)); return p },
+	})
+	b.in = faultinject.New(s)
+	for _, h := range poolHosts {
+		h := h
+		b.in.AddNode(h, shells[h])
+		b.rm.Register(&haas.FPGAManager{
+			Node:      haas.NodeID(h),
+			Configure: func(string) { shells[h].LoadRole(svcRole{}) },
+			Healthy:   func() bool { return b.in.NodeAlive(h) },
+			Depth: func() int {
+				if q := b.queues[h]; q != nil {
+					return q.Depth()
+				}
+				return -1
+			},
+		})
+	}
+
+	// The SM host terminates the depth gossip.
+	must(shells[b.smHost].SetControlHandler(func(from int, kind uint8, payload []byte) {
+		if kind == ctrlDepth && len(payload) >= 4 {
+			b.router.ReportDepth(from, int(binary.BigEndian.Uint32(payload)), s.Now())
+		}
+	}))
+
+	for i := 0; i < cfg.FPGAs; i++ {
+		if err := b.grow(); err != nil {
+			panic(fmt.Sprintf("svclb: initial lease: %v", err))
+		}
+	}
+	b.started = true
+
+	dc.StartBackgroundLoad(cfg.BackgroundLoad, pkt.ClassRDMA, 1400)
+
+	gens := make([]*workload.OpenLoop, cfg.Clients)
+	for ci := range b.clients {
+		ci := ci
+		gens[ci] = workload.NewOpenLoop(s, cfg.ClientRate, func() { b.arrive(ci) })
+		gens[ci].Start()
+	}
+
+	var as *autoscaler
+	if cfg.Autoscale.Interval > 0 {
+		as = b.startAutoscaler()
+	}
+
+	if cfg.KillAt > 0 {
+		s.Schedule(cfg.KillAt, func() {
+			live := b.router.Live()
+			if len(live) == 0 {
+				return
+			}
+			b.killAt = s.Now()
+			b.awaitRecovery = true
+			b.in.KillNode(live[0].Host)
+		})
+	}
+
+	end := cfg.Warmup + cfg.Duration
+	s.RunUntil(end)
+	for _, g := range gens {
+		g.Stop()
+	}
+	s.RunUntil(end + cfg.Drain)
+	b.rm.Stop()
+	if as != nil {
+		as.stop()
+	}
+
+	res := Result{
+		Policy:  cfg.Policy,
+		Clients: cfg.Clients,
+		FPGAs:   cfg.FPGAs,
+		Ratio:   float64(cfg.Clients) / float64(cfg.FPGAs),
+
+		Offered: b.offered, Admitted: b.admitted,
+		Shed: b.shed, Completed: b.completed,
+
+		Avg: sim.Time(int64(b.measured.Mean())),
+		P50: sim.Time(b.measured.Percentile(50)),
+		P95: sim.Time(b.measured.Percentile(95)),
+		P99: sim.Time(b.measured.Percentile(99)),
+
+		Hedged: b.hedged, HedgeWins: b.hedgeWins,
+		Cancels: b.cancels, CancelHits: b.cancelHits,
+		Failovers: b.failovers, Resent: b.resent,
+		Grown: b.grown, Shrunk: b.shrunk,
+
+		FinalBackends: len(b.router.Live()),
+		RouteHash:     b.router.RouteHash(),
+	}
+	if b.wOffered > 0 {
+		res.AdmitRate = float64(b.wAdmitted) / float64(b.wOffered)
+		res.Goodput = float64(b.wCompleted) / float64(b.wOffered)
+	}
+	if h := b.in.Stats.Recovery[faultinject.NodeKill]; h.Count() > 0 {
+		res.Recovery = sim.Time(h.Percentile(99))
+	}
+	return res
+}
+
+// arrive handles one client request: admission, routing, dispatch.
+func (b *Balancer) arrive(ci int) {
+	now := b.s.Now()
+	inWindow := now >= b.cfg.Warmup && now < b.cfg.Warmup+b.cfg.Duration
+	b.offered++
+	if inWindow {
+		b.wOffered++
+	}
+	sl, ok := b.router.Pick()
+	if !ok {
+		b.shed++
+		return
+	}
+	if b.cfg.Admission {
+		est := sim.Time(estDepth(sl))*b.cfg.ServiceTime + b.cfg.NetOverhead
+		if est > b.cfg.Deadline {
+			b.router.Done(sl)
+			b.shed++
+			return
+		}
+	}
+	b.admitted++
+	if inWindow {
+		b.wAdmitted++
+	}
+	b.nextReq++
+	p := &pendingReq{id: b.nextReq, client: ci, t0: now}
+	b.pending[p.id] = p
+	b.sendCopy(p, sl, false)
+	if b.cfg.HedgeDelay > 0 {
+		p.hedgeEv = b.s.Schedule(b.cfg.HedgeDelay, func() { b.hedge(p) })
+	}
+}
+
+// sendCopy dispatches one copy of p to sl (PCIe then LTL).
+func (b *Balancer) sendCopy(p *pendingReq, sl *Slot, hedge bool) {
+	c := &reqCopy{slot: sl, hedge: hedge}
+	p.copies = append(p.copies, c)
+	req := make([]byte, b.cfg.ReqBytes)
+	binary.BigEndian.PutUint64(req, p.id)
+	cs := b.clients[p.client].sh
+	b.s.Schedule(b.pcie(b.cfg.ReqBytes), func() {
+		if c.gone {
+			return
+		}
+		if !c.slot.live {
+			// The backend died between the routing decision and the PCIe
+			// DMA finishing; the failure scan has already run, so this copy
+			// re-routes itself.
+			c.gone = true
+			b.reroute(p)
+			return
+		}
+		cs.SendRemote(uint16(c.slot.Index)+1, req, nil)
+	})
+}
+
+// hedge sends a second copy of a still-pending request to a different
+// backend.
+func (b *Balancer) hedge(p *pendingReq) {
+	if _, live := b.pending[p.id]; !live {
+		return
+	}
+	var first *Slot
+	for _, c := range p.copies {
+		if !c.gone {
+			first = c.slot
+		}
+	}
+	sl, ok := b.router.PickExcluding(first)
+	if !ok {
+		return
+	}
+	b.hedged++
+	b.sendCopy(p, sl, true)
+}
+
+// onResponse handles the response for req id arriving at client ci from
+// slot sl (the winner if copies were hedged).
+func (b *Balancer) onResponse(ci int, sl *Slot, reqID uint64) {
+	p, ok := b.pending[reqID]
+	if !ok {
+		return // late duplicate from a hedge loser or a cancel miss
+	}
+	delete(b.pending, reqID)
+	b.s.Cancel(p.hedgeEv)
+	winnerIdx := -1
+	for i, c := range p.copies {
+		if !c.gone && c.slot == sl {
+			winnerIdx = i
+			break
+		}
+	}
+	for i, c := range p.copies {
+		if c.gone || i == winnerIdx {
+			continue
+		}
+		// A losing hedge copy: release its routing slot and try to pull it
+		// back out of the backend's queue before it wastes service time.
+		c.gone = true
+		if c.slot.live {
+			b.router.Done(c.slot)
+			b.cancels++
+			var idb [8]byte
+			binary.BigEndian.PutUint64(idb[:], reqID)
+			must(b.clients[ci].sh.SendControl(c.slot.Host, ctrlCancel, idb[:]))
+		}
+	}
+	if winnerIdx >= 0 {
+		b.router.Done(sl)
+		if p.copies[winnerIdx].hedge {
+			b.hedgeWins++
+		}
+	}
+	b.s.Schedule(b.pcie(b.cfg.RespBytes), func() {
+		now := b.s.Now()
+		lat := int64(now - p.t0)
+		b.completed++
+		b.winLat.Observe(lat)
+		if p.t0 >= b.cfg.Warmup && p.t0 < b.cfg.Warmup+b.cfg.Duration {
+			b.wCompleted++
+			b.measured.Observe(lat)
+		}
+		if p.failedOver && b.awaitRecovery {
+			// First request completed after being re-routed off the killed
+			// backend: the fault is masked from this client's perspective.
+			b.in.RecordRecovery(faultinject.NodeKill, now-b.killAt)
+			b.awaitRecovery = false
+		}
+	})
+}
+
+// grow leases one more FPGA and wires it into the pool.
+func (b *Balancer) grow() error {
+	var lid int
+	comp, err := b.rm.Lease("svclb", serviceImage, haas.Constraints{Count: 1, Pod: -1},
+		func(dead haas.NodeID) { b.onNodeFailure(lid, dead) })
+	if err != nil {
+		return err
+	}
+	lid = comp.LeaseID
+	b.leases = append(b.leases, lid)
+	for _, n := range comp.Nodes {
+		b.addBackend(int(n), lid)
+	}
+	if b.started {
+		b.grown++
+	}
+	return nil
+}
+
+// shrink drains and releases the newest-leased backend.
+func (b *Balancer) shrink() {
+	if len(b.leases) == 0 {
+		return
+	}
+	lid := b.leases[len(b.leases)-1]
+	b.leases = b.leases[:len(b.leases)-1]
+	for h, l := range b.leaseOf {
+		if l != lid {
+			continue
+		}
+		if sl := b.router.SlotOnHost(h); sl != nil {
+			b.router.RemoveSlot(sl)
+		}
+		if t := b.gossip[h]; t != nil {
+			t.Stop()
+			delete(b.gossip, h)
+		}
+		delete(b.leaseOf, h)
+	}
+	// In-flight work on the drained backend still completes: the lease is
+	// returned but the connections stay up until the host is re-wired.
+	b.rm.Release(lid)
+	b.shrunk++
+}
+
+// addBackend wires host h (lease lid) into the data plane and the routing
+// view.
+func (b *Balancer) addBackend(h, lid int) {
+	if tear := b.unwire[h]; tear != nil {
+		tear() // host reused after a drain: drop the stale wiring epoch
+	}
+	b.leaseOf[h] = lid
+	q := NewWorkQueue(b.s)
+	b.queues[h] = q
+	fs := b.shells[h]
+	sl := b.router.AddSlot(h)
+
+	must(fs.SetControlHandler(func(_ int, kind uint8, payload []byte) {
+		if kind == ctrlCancel && len(payload) >= 8 {
+			if q.Cancel(binary.BigEndian.Uint64(payload)) {
+				b.cancelHits++
+			}
+		}
+	}))
+
+	for ci := range b.clients {
+		ci, ch := ci, b.clients[ci].host
+		cs := b.clients[ci].sh
+		must(cs.OpenRemoteSend(uint16(sl.Index)+1, h, uint16(ci)+1, nil))
+		must(fs.OpenRemoteSend(uint16(ci)+1000, ch, uint16(sl.Index)+1000, nil))
+		must(fs.OpenRemoteRecv(uint16(ci)+1, ch, func(payload []byte) {
+			reqID := binary.BigEndian.Uint64(payload)
+			q.Submit(reqID, b.cfg.ServiceTime, func() {
+				resp := make([]byte, b.cfg.RespBytes)
+				binary.BigEndian.PutUint64(resp, reqID)
+				fs.SendRemote(uint16(ci)+1000, resp, nil)
+			})
+		}))
+		must(cs.OpenRemoteRecv(uint16(sl.Index)+1000, h, func(payload []byte) {
+			b.onResponse(ci, sl, binary.BigEndian.Uint64(payload))
+		}))
+	}
+	b.unwire[h] = func() {
+		for ci := range b.clients {
+			fs.Engine.Close(uint16(ci) + 1)
+			fs.Engine.Close(uint16(ci) + 1000)
+		}
+	}
+
+	// Depth gossip, phase-offset per slot so the pool's reports interleave
+	// instead of arriving as a synchronized burst.
+	first := b.cfg.GossipInterval * sim.Time(1+sl.Index%8) / 8
+	b.gossip[h] = b.s.Every(first, b.cfg.GossipInterval, func() {
+		var buf [4]byte
+		binary.BigEndian.PutUint32(buf[:], uint32(q.Depth()))
+		must(fs.SendControl(b.smHost, ctrlDepth, buf[:]))
+	})
+}
+
+// onNodeFailure is the lease-failure callback: replace the dead node via
+// HaaS, then re-route every pending copy that was lost with it.
+func (b *Balancer) onNodeFailure(lid int, dead haas.NodeID) {
+	b.failovers++
+	h := int(dead)
+	if sl := b.router.SlotOnHost(h); sl != nil {
+		b.router.RemoveSlot(sl)
+	}
+	if t := b.gossip[h]; t != nil {
+		t.Stop()
+		delete(b.gossip, h)
+	}
+	delete(b.leaseOf, h)
+	delete(b.unwire, h) // the dead shell's connections die with it
+
+	if repl, err := b.rm.ReplaceNode(lid, dead, serviceImage); err == nil {
+		b.addBackend(int(repl), lid)
+	}
+
+	// Scan pending requests in id order (deterministic multi-failure
+	// handling) and resend any whose every copy is lost.
+	ids := make([]uint64, 0, len(b.pending))
+	for id := range b.pending {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		p := b.pending[id]
+		alive := false
+		for _, c := range p.copies {
+			if c.gone {
+				continue
+			}
+			if !c.slot.live {
+				c.gone = true
+				continue
+			}
+			alive = true
+		}
+		if !alive {
+			b.reroute(p)
+		}
+	}
+}
+
+// reroute resends a request whose copies were all lost to failures.
+func (b *Balancer) reroute(p *pendingReq) {
+	sl, ok := b.router.Pick()
+	if !ok {
+		// No live backend at all; retry when the pool recovers. The request
+		// stays pending, so it is never silently lost.
+		b.s.Schedule(b.cfg.RMPoll, func() {
+			if _, live := b.pending[p.id]; live {
+				b.reroute(p)
+			}
+		})
+		return
+	}
+	p.failedOver = true
+	b.resent++
+	b.sendCopy(p, sl, false)
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// svcRole marks pool shells' role slot occupied; the data path runs
+// through OpenRemoteRecv handlers.
+type svcRole struct{}
+
+func (svcRole) Name() string { return serviceImage }
+func (svcRole) HandleRequest(src shell.RequestSource, payload []byte, respond func([]byte)) {
+	respond(payload)
+}

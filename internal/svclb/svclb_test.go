@@ -1,0 +1,257 @@
+package svclb
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func quickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Clients = 8
+	cfg.FPGAs = 2
+	cfg.Spares = 2
+	cfg.Warmup = 20 * sim.Millisecond
+	cfg.Duration = 100 * sim.Millisecond
+	cfg.Drain = 50 * sim.Millisecond
+	return cfg
+}
+
+func TestWorkQueueCancel(t *testing.T) {
+	s := sim.New(1)
+	q := NewWorkQueue(s)
+	done := map[uint64]bool{}
+	for id := uint64(1); id <= 3; id++ {
+		id := id
+		q.Submit(id, sim.Millisecond, func() { done[id] = true })
+	}
+	if got := q.Depth(); got != 3 {
+		t.Fatalf("depth = %d, want 3", got)
+	}
+	// Job 1 is in service: cancelling it must miss. Job 3 is queued:
+	// cancelling it must hit and skip its work.
+	if q.Cancel(1) {
+		t.Fatal("cancelled the in-service job")
+	}
+	if !q.Cancel(3) {
+		t.Fatal("failed to cancel a queued job")
+	}
+	s.Run()
+	if !done[1] || !done[2] || done[3] {
+		t.Fatalf("completions = %v, want jobs 1,2 only", done)
+	}
+	if q.Completed.Value() != 2 || q.Cancelled.Value() != 1 || q.CancelMisses.Value() != 1 {
+		t.Fatalf("counters completed=%d cancelled=%d misses=%d",
+			q.Completed.Value(), q.Cancelled.Value(), q.CancelMisses.Value())
+	}
+}
+
+func TestRouterPoliciesDeterministicAndDistinct(t *testing.T) {
+	decisions := func(policy string, seed int64) (uint64, []int) {
+		s := sim.New(seed)
+		r, err := NewRouter(s.NewRand(), policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for h := 0; h < 4; h++ {
+			r.AddSlot(100 + h)
+		}
+		var picks []int
+		for i := 0; i < 200; i++ {
+			sl, ok := r.Pick()
+			if !ok {
+				t.Fatal("no backend")
+			}
+			picks = append(picks, sl.Index)
+			// Alternate completions so jsq/p2c see changing load.
+			if i%2 == 0 {
+				r.Done(sl)
+			}
+			r.ReportDepth(sl.Host, sl.Outstanding, sim.Time(i))
+		}
+		return r.RouteHash(), picks
+	}
+	hashes := map[string]uint64{}
+	for _, p := range PolicyNames() {
+		h1, picks1 := decisions(p, 7)
+		h2, picks2 := decisions(p, 7)
+		if h1 != h2 {
+			t.Fatalf("%s: route hash differs across identical runs: %x vs %x", p, h1, h2)
+		}
+		for i := range picks1 {
+			if picks1[i] != picks2[i] {
+				t.Fatalf("%s: pick %d differs across identical runs", p, i)
+			}
+		}
+		hashes[p] = h1
+	}
+	if hashes[PolicyRandom] == hashes[PolicyRoundRobin] {
+		t.Fatal("random and rr produced identical decision streams")
+	}
+}
+
+func TestRunConservesRequests(t *testing.T) {
+	for _, policy := range PolicyNames() {
+		cfg := quickConfig()
+		cfg.Policy = policy
+		r := Run(cfg)
+		if r.Offered == 0 || r.Completed == 0 {
+			t.Fatalf("%s: no traffic: %+v", policy, r)
+		}
+		if r.Admitted != r.Completed {
+			t.Fatalf("%s: admitted %d but completed %d (client-visible loss)",
+				policy, r.Admitted, r.Completed)
+		}
+		if r.Offered != r.Admitted+r.Shed {
+			t.Fatalf("%s: offered %d != admitted %d + shed %d",
+				policy, r.Offered, r.Admitted, r.Shed)
+		}
+		if r.P99 <= 0 || r.P99 < r.P50 {
+			t.Fatalf("%s: implausible percentiles p50=%v p99=%v", policy, r.P50, r.P99)
+		}
+	}
+}
+
+func TestRunDeterministicRoutingAndPercentiles(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Policy = PolicyP2C
+	a, b := Run(cfg), Run(cfg)
+	if a.RouteHash != b.RouteHash {
+		t.Fatalf("route hash differs across identical runs: %x vs %x", a.RouteHash, b.RouteHash)
+	}
+	if a != b {
+		t.Fatalf("results differ across identical runs:\n%+v\n%+v", a, b)
+	}
+	cfg.Seed++
+	c := Run(cfg)
+	if c.RouteHash == a.RouteHash {
+		t.Fatal("route hash insensitive to seed")
+	}
+}
+
+func TestKillMidRunFailoverNoLoss(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Clients = 32 // enough load that the victim holds queued work when it dies
+	cfg.Policy = PolicyP2C
+	// Off the RM poll grid: the pool runs headless for most of a poll
+	// period, so work piles onto the dead backend before detection.
+	cfg.KillAt = cfg.Warmup + 40*sim.Millisecond + 100*sim.Microsecond
+	r := Run(cfg)
+	if r.Failovers == 0 {
+		t.Fatalf("kill was not detected: %+v", r)
+	}
+	if r.Resent == 0 {
+		t.Fatal("no pending requests were re-routed off the dead backend")
+	}
+	if r.Admitted != r.Completed {
+		t.Fatalf("admitted %d but completed %d: the kill lost client requests",
+			r.Admitted, r.Completed)
+	}
+	if r.FinalBackends != cfg.FPGAs {
+		t.Fatalf("pool not restored: %d backends, want %d", r.FinalBackends, cfg.FPGAs)
+	}
+	if r.Recovery <= 0 {
+		t.Fatal("no recovery latency recorded")
+	}
+	// Masking must happen within detection (RM poll) plus re-lease and the
+	// resent request's round trip — well under two poll periods here.
+	if limit := 2 * cfg.RMPoll; r.Recovery > limit {
+		t.Fatalf("recovery %v exceeds %v", r.Recovery, limit)
+	}
+}
+
+func TestHedgingCancelsLoser(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Clients = 28 // enough queueing that hedges fire
+	cfg.Policy = PolicyRandom
+	cfg.Admission = false
+	// Two service times: an unlucky pick is still deep in a queue when the
+	// hedge fires, so the second copy can genuinely win.
+	cfg.HedgeDelay = 2 * cfg.ServiceTime
+	r := Run(cfg)
+	if r.Hedged == 0 {
+		t.Fatalf("no hedges fired: %+v", r)
+	}
+	if r.Cancels == 0 {
+		t.Fatal("hedge losers were never cancelled")
+	}
+	if r.HedgeWins == 0 {
+		t.Fatal("no hedge copy ever won (hedging is not helping)")
+	}
+	if r.Admitted != r.Completed {
+		t.Fatalf("admitted %d but completed %d under hedging", r.Admitted, r.Completed)
+	}
+}
+
+func TestAutoscaleGrowsAndShrinks(t *testing.T) {
+	// Overloaded single FPGA with headroom: the p99 watermark must pull in
+	// more leases.
+	cfg := quickConfig()
+	cfg.Clients = 24
+	cfg.FPGAs = 1
+	cfg.Spares = 3
+	cfg.Admission = false
+	cfg.Autoscale = AutoscaleConfig{
+		Interval: 10 * sim.Millisecond,
+		HighP99:  4 * cfg.ServiceTime,
+		LowP99:   2 * cfg.ServiceTime,
+		Min:      1,
+		Max:      4,
+	}
+	r := Run(cfg)
+	if r.Grown == 0 {
+		t.Fatalf("overload never triggered a grow: %+v", r)
+	}
+	if r.FinalBackends <= 1 {
+		t.Fatalf("pool did not scale up: %d backends", r.FinalBackends)
+	}
+	if r.Admitted != r.Completed {
+		t.Fatalf("admitted %d but completed %d across scaling", r.Admitted, r.Completed)
+	}
+
+	// Idle oversized pool: the low watermark must release leases.
+	cfg = quickConfig()
+	cfg.Clients = 2
+	cfg.FPGAs = 3
+	cfg.Autoscale = AutoscaleConfig{
+		Interval:   10 * sim.Millisecond,
+		HighP99:    1000 * cfg.ServiceTime,
+		LowP99:     100 * cfg.ServiceTime,
+		Min:        1,
+		Max:        3,
+		MinSamples: 5,
+	}
+	r = Run(cfg)
+	if r.Shrunk == 0 {
+		t.Fatalf("idle pool never shrank: %+v", r)
+	}
+	if r.Admitted != r.Completed {
+		t.Fatalf("admitted %d but completed %d across draining", r.Admitted, r.Completed)
+	}
+}
+
+func TestP2CAdmissionSustainsHigherRatioThanRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-point packet-level sweep")
+	}
+	sc := DefaultSweepConfig()
+	sc.Base.Warmup = 30 * sim.Millisecond
+	sc.Base.Duration = 200 * sim.Millisecond
+	sc.ClientCounts = []int{24, 32, 40}
+	random := Sweep(sc, PolicyRandom, false)
+	p2c := Sweep(sc, PolicyP2C, true)
+	if p2c.MaxSustainedRatio <= random.MaxSustainedRatio {
+		t.Fatalf("p2c+admission sustained %.1f clients/FPGA, random %.1f — expected strictly higher\nrandom: %+v\np2c: %+v",
+			p2c.MaxSustainedRatio, random.MaxSustainedRatio, random.Points, p2c.Points)
+	}
+	// The informed policy must hold the p99 bound at a ratio where random
+	// dispatch has already blown through it.
+	for i := range p2c.Points {
+		rp, pp := random.Points[i], p2c.Points[i]
+		if sc.Sustained(pp) && !sc.Sustained(rp) {
+			return
+		}
+	}
+	t.Fatalf("no swept ratio separated the policies\nrandom: %+v\np2c: %+v",
+		random.Points, p2c.Points)
+}
