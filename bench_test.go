@@ -163,9 +163,8 @@ func BenchmarkFig10LTLLatency(b *testing.B) {
 
 func BenchmarkFig11RemoteRanking(b *testing.B) {
 	rtts := MeasureLTLRTTs(8, 1, 200)
-	rng := rand.New(rand.NewSource(8))
 	cfg := benchSweepConfig()
-	cfg.RemoteRTT = func() sim.Time { return rtts[rng.Intn(len(rtts))] }
+	cfg.RemoteRTT = func(rng *rand.Rand) sim.Time { return rtts[rng.Intn(len(rtts))] }
 	var res ranking.Fig11Result
 	for i := 0; i < b.N; i++ {
 		res = ranking.Fig11(cfg)

@@ -8,14 +8,25 @@
 //	ccexperiment -exp all -full      # everything at paper-like sizing
 //	ccexperiment -exp faults -faults lossy   # run under a fault profile
 //	ccexperiment -exp svclb -lb jsq          # pick the routing policy
+//	ccexperiment -exp fig6 -cpuprofile cpu.pb.gz  # profile the hot path
+//
+// Experiments (and the sweep points inside them) are independent
+// simulations and run in parallel across cores; output order is always
+// the id order, byte-identical to a sequential run. -seq forces
+// everything onto one goroutine (useful under -cpuprofile when a single
+// clean call stack is wanted, or when reading interleaved debug prints).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 
 	configcloud "repro"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -25,6 +36,9 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables (for plotting)")
 	faults := flag.String("faults", "", "run experiments under a fault profile (see -list)")
 	lb := flag.String("lb", "", "service-level load-balancing policy for svclb/fig12 (see -list)")
+	seq := flag.Bool("seq", false, "run everything sequentially on one goroutine")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if *list {
@@ -42,13 +56,23 @@ func main() {
 		return
 	}
 	if err := configcloud.SetDefaultFaultProfile(*faults); err != nil {
-		fmt.Fprintf(os.Stderr, "ccexperiment: %v\n", err)
-		os.Exit(1)
+		fail("%v", err)
 	}
 	if err := configcloud.SetDefaultLB(*lb); err != nil {
-		fmt.Fprintf(os.Stderr, "ccexperiment: %v\n", err)
-		os.Exit(1)
+		fail("%v", err)
 	}
+	sweep.SetSequential(*seq)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail("%v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	scale := configcloud.Quick
 	if *full {
 		scale = configcloud.Full
@@ -57,19 +81,52 @@ func main() {
 	if *exp != "all" {
 		ids = []string{*exp}
 	}
-	for _, id := range ids {
-		fmt.Printf("### experiment %s\n\n", id)
+
+	// Each experiment renders into its own buffer in parallel; printing
+	// happens afterwards in id order so the output is independent of
+	// scheduling.
+	type rendered struct {
+		out string
+		err error
+	}
+	results := sweep.Over(ids, func(_ int, id string) rendered {
+		var b strings.Builder
+		fmt.Fprintf(&b, "### experiment %s\n\n", id)
 		tabs, err := configcloud.RunExperiment(id, scale)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ccexperiment: %v\n", err)
-			os.Exit(1)
+			return rendered{err: err}
 		}
 		for _, t := range tabs {
 			if *csv {
-				fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
+				fmt.Fprintf(&b, "# %s\n%s\n", t.Title, t.CSV())
 			} else {
-				fmt.Println(t.String())
+				fmt.Fprintln(&b, t.String())
 			}
 		}
+		return rendered{out: b.String()}
+	})
+	for _, r := range results {
+		if r.err != nil {
+			pprof.StopCPUProfile()
+			fail("%v", r.err)
+		}
+		fmt.Print(r.out)
 	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fail("%v", err)
+		}
+		runtime.GC() // materialize final live-heap state
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail("%v", err)
+		}
+		f.Close()
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ccexperiment: "+format+"\n", args...)
+	os.Exit(1)
 }

@@ -5,7 +5,9 @@ import (
 	"testing"
 
 	"repro/internal/netsim"
+	"repro/internal/ranking"
 	"repro/internal/svclb"
+	"repro/internal/sweep"
 )
 
 // Every experiment is a pure function of its seed: rendering the same
@@ -103,6 +105,42 @@ func TestSvcLBRoutingDeterminism(t *testing.T) {
 		if a != b {
 			t.Errorf("%s: results diverged:\n%+v\n%+v", policy, a, b)
 		}
+	}
+}
+
+// The parallel sweep runner must be a pure performance change: fanning
+// sweep points across workers has to produce byte-identical output to
+// running them one by one on the calling goroutine. This guards the two
+// rules sweep.Map relies on — per-point seeds drawn before the fan-out,
+// and no shared mutable state (e.g. a common RNG) between points.
+func TestParallelSweepMatchesSequential(t *testing.T) {
+	if sweep.SequentialEnabled() {
+		t.Fatal("sequential mode unexpectedly on at test entry")
+	}
+	render := func() string {
+		// A ranking sweep (per-point Sampler + pre-drawn seeds) and an
+		// svclb policy sweep (self-contained points) cover both
+		// fan-out styles.
+		rcfg := ranking.DefaultSweepConfig()
+		rcfg.QueriesPer = 2000
+		rcfg.PoolSize = 200
+		rcfg.Points = 4
+		curve := ranking.Sweep(rcfg, ranking.LocalFPGA)
+
+		scfg := svclb.DefaultSweepConfig()
+		scfg.Base.Warmup = 10 * Millisecond
+		scfg.Base.Duration = 60 * Millisecond
+		scfg.ClientCounts = []int{16, 32}
+		sr := svclb.Sweep(scfg, svclb.PolicyP2C, true)
+
+		return fmt.Sprintf("%+v\n%+v", curve, sr)
+	}
+	par := render()
+	sweep.SetSequential(true)
+	defer sweep.SetSequential(false)
+	seq := render()
+	if par != seq {
+		t.Errorf("parallel sweep output diverges from sequential:\n--- parallel ---\n%s\n--- sequential ---\n%s", par, seq)
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"repro/internal/shell"
 	"repro/internal/sim"
 	"repro/internal/svclb"
+	"repro/internal/sweep"
 )
 
 // Table is the experiment output format.
@@ -254,9 +255,8 @@ func MeasureLTLRTTs(seed int64, tier, n int) []sim.Time {
 // remote path's RTT sampled from measured LTL round trips.
 func ExpFig11(scale Scale) *Table {
 	rtts := MeasureLTLRTTs(8, 1, 300)
-	rng := rand.New(rand.NewSource(8))
 	cfg := rankingSweepConfig(scale)
-	cfg.RemoteRTT = func() sim.Time { return rtts[rng.Intn(len(rtts))] }
+	cfg.RemoteRTT = func(rng *rand.Rand) sim.Time { return rtts[rng.Intn(len(rtts))] }
 	res := ranking.Fig11(cfg)
 
 	t := &Table{
@@ -461,15 +461,27 @@ func (echoRole) HandleRequest(_ shell.RequestSource, p []byte, respond func([]by
 }
 
 // ExpFaults runs an LTL messaging workload across several same-TOR pairs
-// under a faultinject profile (the process default from -faults, else
-// "chaos") and reports delivery outcomes next to the injector's fault
-// tally and recovery-latency histograms. The scrub interval is shortened
-// so role-wedge recovery is observable within the run.
+// under faultinject profiles and reports delivery outcomes next to the
+// injector's fault tally and recovery-latency histograms. With -faults
+// set, only that profile runs; otherwise every named profile runs (each
+// an independent cloud, fanned across cores). The scrub interval is
+// shortened so role-wedge recovery is observable within the run.
 func ExpFaults(scale Scale) []*Table {
-	prof := defaultFaultProfile
-	if prof == "" {
-		prof = "chaos"
+	profiles := []string{defaultFaultProfile}
+	if defaultFaultProfile == "" {
+		profiles = FaultProfileNames()
 	}
+	perProfile := sweep.Over(profiles, func(_ int, prof string) []*Table {
+		return runFaultWorkload(prof, scale)
+	})
+	var out []*Table
+	for _, tabs := range perProfile {
+		out = append(out, tabs...)
+	}
+	return out
+}
+
+func runFaultWorkload(prof string, scale Scale) []*Table {
 	msgs := 200
 	runFor := 60 * Millisecond
 	if scale == Full {
@@ -534,7 +546,8 @@ func ExpFaults(scale Scale) []*Table {
 
 // ExpLTLLoss measures LTL reliability machinery under injected frame loss
 // (§V-A: ACK/NACK retransmission, 50 µs timeout, fast failure
-// detection).
+// detection). Each loss rate is an independent cloud, so the rates run
+// in parallel; rows stay in loss-rate order.
 func ExpLTLLoss(scale Scale) *Table {
 	msgs := 400
 	if scale == Full {
@@ -545,7 +558,7 @@ func ExpLTLLoss(scale Scale) *Table {
 		Headers: []string{"loss rate", "delivered", "avg RTT", "p99 RTT",
 			"timeouts", "nack rtx", "conn failed"},
 	}
-	for _, loss := range []float64{0, 0.001, 0.01, 0.05, 1.0} {
+	rows := sweep.Over([]float64{0, 0.001, 0.01, 0.05, 1.0}, func(_ int, loss float64) []any {
 		cloud := New(Options{Seed: 21})
 		a, b := cloud.Node(0), cloud.Node(1)
 		a.Shell.SetEgressLossRate(loss)
@@ -579,13 +592,16 @@ func ExpLTLLoss(scale Scale) *Table {
 		cloud.Run(sim.Time(n)*60*Microsecond + 10*Millisecond)
 
 		eng := a.Shell.Engine
-		t.AddRow(fmt.Sprintf("%.1f%%", loss*100),
+		return []any{fmt.Sprintf("%.1f%%", loss*100),
 			fmt.Sprintf("%d/%d", delivered, n),
 			sim.Time(int64(h.Mean())).String(),
 			sim.Time(h.Percentile(99)).String(),
 			eng.Stats.Timeouts.Value(),
 			eng.Stats.NacksRecv.Value(),
-			failed)
+			failed}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t
 }

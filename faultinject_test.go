@@ -235,14 +235,14 @@ func TestLossyProfileDeliversEverythingViaRetransmit(t *testing.T) {
 }
 
 // TestFaultsExperimentRuns smoke-tests the ccexperiment-facing entry
-// point.
+// point: two tables (workload + fault tally) per named profile.
 func TestFaultsExperimentRuns(t *testing.T) {
 	tabs, err := RunExperiment("faults", Quick)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tabs) != 2 {
-		t.Fatalf("faults experiment returned %d tables, want 2", len(tabs))
+	if want := 2 * len(FaultProfileNames()); len(tabs) != want {
+		t.Fatalf("faults experiment returned %d tables, want %d", len(tabs), want)
 	}
 	for _, tab := range tabs {
 		if len(tab.Rows) == 0 {

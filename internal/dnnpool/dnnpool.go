@@ -25,6 +25,7 @@ import (
 	"repro/internal/shell"
 	"repro/internal/sim"
 	"repro/internal/svclb"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -322,14 +323,17 @@ func RunLocalBaseline(cfg Config) Result {
 }
 
 // Fig12 sweeps oversubscription ratios by shrinking the pool and returns
-// (baseline, points).
+// (baseline, points). The baseline and every pool size are independent
+// simulations, so all of them fan out across cores at once; points come
+// back in fpgaCounts order.
 func Fig12(base Config, fpgaCounts []int) (Result, []Result) {
-	baseline := RunLocalBaseline(base)
-	var points []Result
-	for _, n := range fpgaCounts {
+	results := sweep.Map(len(fpgaCounts)+1, func(i int) Result {
+		if i == 0 {
+			return RunLocalBaseline(base)
+		}
 		cfg := base
-		cfg.FPGAs = n
-		points = append(points, RunRemote(cfg))
-	}
-	return baseline, points
+		cfg.FPGAs = fpgaCounts[i-1]
+		return RunRemote(cfg)
+	})
+	return results[0], results[1:]
 }

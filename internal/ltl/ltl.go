@@ -193,7 +193,32 @@ type Engine struct {
 
 	ipID uint16
 
+	// outFn is the bound wire-output callback used with sim.ScheduleCall,
+	// built once so per-frame TX scheduling allocates no closure or event.
+	outFn func(any)
+	// rxFree recycles rx dispatch jobs (single-threaded per simulation).
+	rxFree []*rxJob
+
 	Stats Stats
+}
+
+// rxJob carries one received frame through the RxProc pipeline delay.
+type rxJob struct {
+	e       *Engine
+	f       *pkt.Frame
+	h       pkt.LTLHeader
+	payload []byte
+}
+
+// dispatchJob fires when a received frame clears the engine's rx
+// pipeline; the job is recycled before dispatch so the steady state
+// allocates nothing.
+func dispatchJob(v any) {
+	j := v.(*rxJob)
+	e, f, h, payload := j.e, j.f, j.h, j.payload
+	j.f, j.payload = nil, nil
+	e.rxFree = append(e.rxFree, j)
+	e.dispatch(f, h, payload)
 }
 
 // New creates an engine bound to wire.
@@ -201,7 +226,7 @@ func New(s *sim.Simulation, wire Wire, cfg Config) *Engine {
 	if cfg.Window <= 0 || cfg.MTU <= 0 || cfg.RetransmitTimeout <= 0 {
 		panic(fmt.Sprintf("ltl: invalid config %+v", cfg))
 	}
-	return &Engine{
+	e := &Engine{
 		cfg: cfg, sim: s, wire: wire,
 		send:      make(map[uint16]*sendConn),
 		recv:      make(map[uint16]*recvConn),
@@ -212,6 +237,14 @@ func New(s *sim.Simulation, wire Wire, cfg Config) *Engine {
 			DeliveryLatency: metrics.NewHistogram(),
 		},
 	}
+	e.outFn = func(v any) { e.wire.Output(v.([]byte)) }
+	return e
+}
+
+// scheduleOut hands an encoded frame to the wire after the engine's TX
+// pipeline latency via the allocation-free scheduler path.
+func (e *Engine) scheduleOut(buf []byte) {
+	e.sim.ScheduleCall(e.cfg.TxProc, e.outFn, buf)
 }
 
 // Config returns the engine configuration.
@@ -415,7 +448,7 @@ func (e *Engine) transmit(sc *sendConn, fr *unackedFrame) {
 	buf := e.frame(sc.remoteIP, sc.remoteMAC, pkt.EncodeLTL(h, fr.payload))
 	e.Stats.FramesSent.Inc()
 	e.Stats.BytesSent.Add(uint64(len(buf)))
-	e.sim.Schedule(e.cfg.TxProc, func() { e.wire.Output(buf) })
+	e.scheduleOut(buf)
 	e.armRetransmit(sc)
 }
 
@@ -467,7 +500,7 @@ func (e *Engine) retransmitFrame(sc *sendConn, fr *unackedFrame) {
 		Seq: fr.seq,
 	}
 	buf := e.frame(sc.remoteIP, sc.remoteMAC, pkt.EncodeLTL(h, fr.payload))
-	e.sim.Schedule(e.cfg.TxProc, func() { e.wire.Output(buf) })
+	e.scheduleOut(buf)
 }
 
 // HandleFrame ingests one LTL-classified frame from the wire (called by
@@ -477,7 +510,15 @@ func (e *Engine) HandleFrame(f *pkt.Frame) {
 	if err != nil {
 		return
 	}
-	e.sim.Schedule(e.cfg.RxProc, func() { e.dispatch(f, h, payload) })
+	var j *rxJob
+	if n := len(e.rxFree); n > 0 {
+		j = e.rxFree[n-1]
+		e.rxFree = e.rxFree[:n-1]
+	} else {
+		j = &rxJob{e: e}
+	}
+	j.f, j.h, j.payload = f, h, payload
+	e.sim.ScheduleCall(e.cfg.RxProc, dispatchJob, j)
 }
 
 func (e *Engine) dispatch(f *pkt.Frame, h pkt.LTLHeader, payload []byte) {
@@ -534,26 +575,27 @@ func (e *Engine) onData(f *pkt.Frame, h pkt.LTLHeader, payload []byte) {
 				rc.onMessage(msg)
 			}
 		}
-		e.scheduleAck(rc, f)
+		e.scheduleAck(rc, f, h.SrcConn)
 	case h.Seq < rc.expectedSeq:
 		// Duplicate (retransmission of something we already have): re-ACK
 		// so the sender's store drains.
 		e.Stats.Duplicates.Inc()
-		e.sendAck(rc, f)
+		e.sendAck(rc, f, h.SrcConn)
 	default:
 		// Reorder/loss detected: request timely retransmission without
 		// waiting for the sender's timeout.
 		e.Stats.OutOfOrder.Inc()
 		if !e.cfg.DisableNACK {
-			e.sendNack(rc, f)
+			e.sendNack(rc, f, h.SrcConn)
 		}
 	}
 }
 
-// scheduleAck acks immediately or arms the coalescing timer.
-func (e *Engine) scheduleAck(rc *recvConn, f *pkt.Frame) {
+// scheduleAck acks immediately or arms the coalescing timer. dst is the
+// data frame's source connection id (already decoded by the caller).
+func (e *Engine) scheduleAck(rc *recvConn, f *pkt.Frame, dst uint16) {
 	if e.cfg.AckCoalesce == 0 {
-		e.sendAck(rc, f)
+		e.sendAck(rc, f, dst)
 		return
 	}
 	rc.pendingAck = true
@@ -562,34 +604,34 @@ func (e *Engine) scheduleAck(rc *recvConn, f *pkt.Frame) {
 			rc.ackTimer = nil
 			if rc.pendingAck {
 				rc.pendingAck = false
-				e.sendAck(rc, f)
+				e.sendAck(rc, f, dst)
 			}
 		})
 	}
 }
 
 // sendAck emits a cumulative ACK for everything below expectedSeq.
-func (e *Engine) sendAck(rc *recvConn, f *pkt.Frame) {
+func (e *Engine) sendAck(rc *recvConn, f *pkt.Frame, dst uint16) {
 	h := pkt.LTLHeader{
 		Type:    pkt.LTLAck,
-		SrcConn: rc.localID, DstConn: srcConnOf(f),
+		SrcConn: rc.localID, DstConn: dst,
 		Ack: rc.expectedSeq,
 	}
 	e.Stats.AcksSent.Inc()
 	buf := e.frame(f.SrcIP, f.Src, pkt.EncodeLTL(h, nil))
-	e.sim.Schedule(e.cfg.TxProc, func() { e.wire.Output(buf) })
+	e.scheduleOut(buf)
 }
 
 // sendNack asks for retransmission starting at expectedSeq.
-func (e *Engine) sendNack(rc *recvConn, f *pkt.Frame) {
+func (e *Engine) sendNack(rc *recvConn, f *pkt.Frame, dst uint16) {
 	h := pkt.LTLHeader{
 		Type:    pkt.LTLNack,
-		SrcConn: rc.localID, DstConn: srcConnOf(f),
+		SrcConn: rc.localID, DstConn: dst,
 		Ack: rc.expectedSeq,
 	}
 	e.Stats.NacksSent.Inc()
 	buf := e.frame(f.SrcIP, f.Src, pkt.EncodeLTL(h, nil))
-	e.sim.Schedule(e.cfg.TxProc, func() { e.wire.Output(buf) })
+	e.scheduleOut(buf)
 }
 
 // sendCNP emits a DCQCN congestion notification toward the data sender.
@@ -597,17 +639,7 @@ func (e *Engine) sendCNP(dstIP pkt.IP, dstMAC pkt.MAC, dstConn, srcConn uint16) 
 	h := pkt.LTLHeader{Type: pkt.LTLCNP, SrcConn: srcConn, DstConn: dstConn}
 	e.Stats.CNPsSent.Inc()
 	buf := e.frame(dstIP, dstMAC, pkt.EncodeLTL(h, nil))
-	e.sim.Schedule(e.cfg.TxProc, func() { e.wire.Output(buf) })
-}
-
-// srcConnOf extracts the data frame's source connection id (the
-// destination of control replies).
-func srcConnOf(f *pkt.Frame) uint16 {
-	h, _, err := pkt.DecodeLTL(f.Payload)
-	if err != nil {
-		return 0
-	}
-	return h.SrcConn
+	e.scheduleOut(buf)
 }
 
 // onAck is the Ack Receiver: drain the Unack'd Frame Store up to the

@@ -1,0 +1,37 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/pkt"
+	"repro/internal/sim"
+)
+
+// BenchmarkNetsimHotPath drives the serialization/propagation/forwarding
+// hot path: a stream of UDP datagrams from one host to another across
+// their shared TOR, measured per delivered frame. This is the per-hop
+// cost every experiment pays for every frame.
+//
+// Recorded baseline before the decode-cache/pool/ScheduleCall overhaul:
+// 1841 ns/op, 1847 B/op, 16 allocs/op.
+func BenchmarkNetsimHotPath(b *testing.B) {
+	s := sim.New(1)
+	dc := NewDatacenter(s, DefaultConfig())
+	a, c := dc.Host(0), dc.Host(1)
+	got := 0
+	c.RegisterUDP(9, func(f *pkt.Frame) { got++ })
+	payload := make([]byte, 1024)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.SendUDPRaw(c.IP(), 9, 9, pkt.ClassBestEffort, payload)
+		if i%64 == 63 {
+			s.Run()
+		}
+	}
+	s.Run()
+	if got != b.N {
+		b.Fatalf("delivered %d/%d", got, b.N)
+	}
+}

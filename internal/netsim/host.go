@@ -93,6 +93,9 @@ func HostMAC(id int) pkt.MAC {
 // data frames are demultiplexed to a registered UDP handler after the
 // receive-side stack latency.
 func (h *Host) HandleFrame(p *Port, packet *Packet) {
+	if paranoid {
+		verifyCached(packet)
+	}
 	if packet.F.EtherType == pkt.EtherTypePFC {
 		if f, ok := pkt.DecodePFC(packet.F.Payload); ok {
 			for c := 0; c < pkt.NumClasses; c++ {
@@ -101,18 +104,31 @@ func (h *Host) HandleFrame(p *Port, packet *Packet) {
 				}
 			}
 		}
+		packet.Free() // control frames terminate here
 		return
 	}
 	h.Received.Inc()
 	if packet.F.UDPValid {
 		if fn, ok := h.handlers[packet.F.DstPort]; ok {
-			h.sim.Schedule(h.StackLatency, func() { fn(packet.F) })
+			// The handler retains packet.F past this call (it runs after
+			// the stack latency), so the packet is never recycled here.
+			packet.dispatch = fn
+			h.sim.ScheduleCall(h.StackLatency, dispatchUDP, packet)
 			return
 		}
 	}
 	if h.DefaultHandler != nil {
-		h.DefaultHandler(packet)
+		h.DefaultHandler(packet) // may retain; not recycled
+		return
 	}
+	packet.Free() // no listener: a closed port swallows the frame
+}
+
+// dispatchUDP delivers a received datagram to its registered handler
+// after the receive-side stack traversal.
+func dispatchUDP(v any) {
+	packet := v.(*Packet)
+	packet.dispatch(packet.F)
 }
 
 // RegisterUDP installs a handler for datagrams to the given port.

@@ -14,6 +14,8 @@ package netsim
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
+	"sync"
 
 	"repro/internal/metrics"
 	"repro/internal/pkt"
@@ -29,27 +31,107 @@ type Device interface {
 }
 
 // Packet is a frame in flight: the encoded bytes plus a parsed view.
+//
+// Packets from NewPacket are pool-backed: the frame is decoded exactly
+// once, into storage embedded in the Packet, and the Packet is recycled
+// via Free at points where it provably dies (congestion drops, terminated
+// control frames, routing dead ends). Retention rule: a device receiving
+// HandleFrame may retain packet (and packet.F, whose Payload aliases
+// packet.Buf) past the call only if it does not Free it — hosts keep
+// delivered packets for their deferred UDP handlers, and shells hand
+// terminated LTL frames to the protocol engine, so neither path recycles.
 type Packet struct {
 	Buf []byte
 	F   *pkt.Frame
 
-	// ingress and release support switch-internal PFC buffer accounting.
+	// ingress and held support switch-internal PFC buffer accounting: a
+	// held packet is charged against its ingress port's PFC account until
+	// it leaves (or is dropped at) the egress queue.
 	ingress *Port
-	release func(*Packet)
+	held    bool
 
 	// EnqueuedAt is when the packet last entered an egress queue.
 	EnqueuedAt sim.Time
+
+	// Flight state for the allocation-free scheduler path
+	// (sim.ScheduleCall): the device that owns the packet's next scheduled
+	// hop parks its context here instead of capturing a closure. A packet
+	// is referenced by at most one in-flight event at a time — it is
+	// either being forwarded, queued, serialized, or propagating — so a
+	// single set of fields suffices. NextPort and PrevPort are meaningful
+	// only between the scheduling and firing of that one event.
+	NextPort *Port // propagation target or forwarding egress
+	PrevPort *Port // ingress the frame arrived on (bridge bookkeeping)
+
+	txPort   *Port            // transmitter serializing this packet
+	dispatch func(*pkt.Frame) // deferred host UDP delivery
+
+	frame pkt.Frame // storage F points at for pool-backed packets
+}
+
+var packetPool = sync.Pool{New: func() any { return new(Packet) }}
+
+// paranoid enables per-hop re-decode verification: every HandleFrame
+// re-parses the wire bytes and compares them against the cached Frame
+// view, panicking on divergence. Tests flip it via SetParanoid; it must
+// not be toggled while simulations are running.
+var paranoid bool
+
+// SetParanoid turns paranoid per-hop re-decode checking on or off.
+func SetParanoid(on bool) { paranoid = on }
+
+// ParanoidEnabled reports whether paranoid re-decode checking is on —
+// for devices outside this package (the FPGA shell) that participate.
+func ParanoidEnabled() bool { return paranoid }
+
+// Verify re-decodes the packet's bytes and panics if the cached Frame
+// view has diverged. Devices call it under ParanoidEnabled.
+func (p *Packet) Verify() { verifyCached(p) }
+
+// EnqueueCall is a sim.ScheduleCall callback that enqueues the packet on
+// its NextPort — the shared closure-free "delayed enqueue" step used by
+// switch forwarding pipelines and the shell bridge.
+func EnqueueCall(v any) {
+	packet := v.(*Packet)
+	packet.NextPort.Enqueue(packet)
+}
+
+// verifyCached re-decodes packet.Buf and compares against the cached
+// view. Called by devices when paranoid mode is on.
+func verifyCached(packet *Packet) {
+	var f pkt.Frame
+	if err := pkt.DecodeInto(&f, packet.Buf); err != nil {
+		panic(fmt.Sprintf("netsim: paranoid re-decode failed: %v", err))
+	}
+	if !reflect.DeepEqual(&f, packet.F) {
+		panic(fmt.Sprintf("netsim: cached frame view diverged from bytes:\ncached %+v\ndecoded %+v", packet.F, &f))
+	}
 }
 
 // NewPacket parses buf and wraps it. It panics on undecodable frames:
 // devices in this simulator only emit well-formed frames, so a failure is
-// a bug, not an input condition.
+// a bug, not an input condition. The returned packet is pool-backed; see
+// the Packet retention rule.
 func NewPacket(buf []byte) *Packet {
-	f, err := pkt.Decode(buf)
-	if err != nil {
+	p := packetPool.Get().(*Packet)
+	if err := pkt.DecodeInto(&p.frame, buf); err != nil {
 		panic(fmt.Sprintf("netsim: emitting undecodable frame: %v", err))
 	}
-	return &Packet{Buf: buf, F: f}
+	p.Buf = buf
+	p.F = &p.frame
+	return p
+}
+
+// Free returns a pool-backed packet for reuse. Callers must prove the
+// packet is dead: no device, handler, or scheduled event still references
+// it or its Frame. Packets assembled literally (F not pointing at the
+// embedded frame) are not pool-managed and Free is a no-op.
+func (p *Packet) Free() {
+	if p.F != &p.frame {
+		return
+	}
+	*p = Packet{}
+	packetPool.Put(p)
 }
 
 // Class returns the packet's traffic class.
@@ -293,11 +375,21 @@ func (p *Port) Enqueue(packet *Packet) bool {
 	return true
 }
 
-// drop releases switch buffer accounting for a rejected packet.
+// drop releases switch buffer accounting for a rejected packet and
+// recycles it: a congestion-dropped frame is dead by definition.
 func (p *Port) drop(packet *Packet) {
-	if packet.release != nil {
-		packet.release(packet)
+	releaseHold(packet)
+	packet.Free()
+}
+
+// releaseHold settles a held packet's ingress PFC account.
+func releaseHold(packet *Packet) {
+	if !packet.held {
+		return
 	}
+	packet.held = false
+	sw := packet.ingress.dev.(*Switch)
+	sw.releaseIngress(packet.ingress, packet.Class(), packet.WireLen())
 }
 
 // EnqueueControl sends a MAC control frame (PFC). Control frames bypass
@@ -372,24 +464,42 @@ func (p *Port) pick() (*Packet, bool) {
 	return nil, false
 }
 
-// transmit serializes packet onto the wire and schedules delivery.
+// transmit serializes packet onto the wire and schedules delivery. The
+// serialization-done and propagation events run closure-free: the packet
+// itself carries the port context through sim.ScheduleCall.
 func (p *Port) transmit(packet *Packet) {
 	p.busy = true
-	if packet.release != nil {
-		packet.release(packet)
-		packet.release = nil
-	}
+	releaseHold(packet)
 	ser := p.cfg.Link.SerializationTime(packet.WireLen())
 	p.Stats.TxFrames.Inc()
 	p.Stats.TxBytes.Add(uint64(packet.WireLen()))
-	peer := p.peer
-	p.sim.Schedule(ser, func() {
-		p.busy = false
-		if peer != nil && peer.peer == p { // link may have failed mid-flight
-			p.deliver(peer, packet)
-		}
-		p.kick()
-	})
+	packet.txPort = p
+	packet.NextPort = p.peer
+	p.sim.ScheduleCall(ser, serializationDone, packet)
+}
+
+// serializationDone fires when the last bit of a frame leaves the
+// transmitter: the port goes idle, the frame starts propagating (unless
+// the link failed mid-flight), and the next queued frame is picked up.
+func serializationDone(v any) {
+	packet := v.(*Packet)
+	p, peer := packet.txPort, packet.NextPort
+	p.busy = false
+	if peer != nil && peer.peer == p { // link may have failed mid-flight
+		p.deliver(peer, packet)
+	} else {
+		packet.Free() // frame lost with the link
+	}
+	p.kick()
+}
+
+// propagationDone completes a frame's flight: the receiving port's device
+// takes it.
+func propagationDone(v any) {
+	packet := v.(*Packet)
+	peer := packet.NextPort
+	peer.Stats.RxFrames.Inc()
+	peer.dev.HandleFrame(peer, packet)
 }
 
 // deliver propagates packet to peer, applying the port's fault hook (if
@@ -400,6 +510,7 @@ func (p *Port) deliver(peer *Port, packet *Packet) {
 		switch d := p.fault(p, packet); d.Op {
 		case FaultDrop:
 			p.Stats.DropsInjected.Inc()
+			packet.Free()
 			return
 		case FaultDuplicate:
 			p.Stats.DupsInjected.Inc()
@@ -408,32 +519,34 @@ func (p *Port) deliver(peer *Port, packet *Packet) {
 			if extra <= 0 {
 				extra = prop
 			}
-			p.sim.Schedule(prop+extra, func() {
-				peer.Stats.RxFrames.Inc()
-				peer.dev.HandleFrame(peer, dup)
-			})
+			dup.NextPort = peer
+			p.sim.ScheduleCall(prop+extra, propagationDone, dup)
 		case FaultCorrupt:
 			p.Stats.CorruptInjected.Inc()
 			buf := append([]byte(nil), packet.Buf...)
 			if d.Corrupt != nil {
 				d.Corrupt(buf)
 			}
-			f, err := pkt.Decode(buf)
-			if err != nil {
+			enq := packet.EnqueuedAt
+			packet.Free() // replaced by the mangled copy below
+			np := packetPool.Get().(*Packet)
+			np.Buf = buf
+			np.F = &np.frame
+			if err := pkt.DecodeInto(&np.frame, buf); err != nil {
 				// The mangled frame fails the peer MAC's FCS check.
+				np.Free()
 				p.Stats.DropsInjected.Inc()
 				return
 			}
-			packet = &Packet{Buf: buf, F: f, EnqueuedAt: packet.EnqueuedAt}
+			np.EnqueuedAt = enq
+			packet = np
 		case FaultDelay:
 			p.Stats.DelayedInjected.Inc()
 			prop += d.Delay
 		}
 	}
-	p.sim.Schedule(prop, func() {
-		peer.Stats.RxFrames.Inc()
-		peer.dev.HandleFrame(peer, packet)
-	})
+	packet.NextPort = peer
+	p.sim.ScheduleCall(prop, propagationDone, packet)
 }
 
 // PauseQuantaToTime converts a PFC quanta count into wall time at rate.

@@ -1,0 +1,44 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/pkt"
+	"repro/internal/sim"
+)
+
+// TestParanoidRedecode runs traffic with per-hop re-decode verification
+// on: every HandleFrame re-parses the wire bytes and compares them with
+// the cached Frame view, so any divergence between the decode-once cache
+// and the bytes (including after switch-side ECN rewriting) panics.
+func TestParanoidRedecode(t *testing.T) {
+	SetParanoid(true)
+	defer SetParanoid(false)
+
+	s := sim.New(5)
+	cfg := DefaultConfig()
+	cfg.HostsPerTOR = 4
+	cfg.TORsPerPod = 2
+	cfg.Pods = 1
+	dc := NewDatacenter(s, cfg)
+	a, b := dc.Host(0), dc.Host(1)
+	// Cross-TOR so frames traverse switch forwarding (and its ECN/PFC
+	// machinery), not just host NICs.
+	c := dc.Host(cfg.HostsPerTOR)
+	got := 0
+	b.RegisterUDP(7, func(f *pkt.Frame) { got++ })
+	c.RegisterUDP(7, func(f *pkt.Frame) { got++ })
+
+	const n = 200
+	for i := 0; i < n; i++ {
+		d := sim.Time(i) * 2 * sim.Microsecond
+		s.Schedule(d, func() {
+			a.SendUDPRaw(b.IP(), 7, 7, pkt.ClassBestEffort, make([]byte, 512))
+			a.SendUDPRaw(c.IP(), 7, 7, pkt.ClassLTL, make([]byte, 512))
+		})
+	}
+	s.RunFor(50 * sim.Millisecond)
+	if got != 2*n {
+		t.Fatalf("delivered %d/%d under paranoid mode", got, 2*n)
+	}
+}

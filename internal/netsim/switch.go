@@ -102,6 +102,9 @@ func (sw *Switch) SetRoute(r RouteFunc) { sw.cfg.Route = r }
 // HandleFrame implements Device: PFC frames adjust local pause state;
 // data frames are routed and forwarded after the pipeline latency.
 func (sw *Switch) HandleFrame(p *Port, packet *Packet) {
+	if paranoid {
+		verifyCached(packet)
+	}
 	if packet.F.EtherType == pkt.EtherTypePFC {
 		if f, ok := pkt.DecodePFC(packet.F.Payload); ok {
 			for c := 0; c < pkt.NumClasses; c++ {
@@ -111,21 +114,25 @@ func (sw *Switch) HandleFrame(p *Port, packet *Packet) {
 				p.Pause(pkt.TrafficClass(c), PauseQuantaToTime(f.Quanta[c], p.cfg.Link.RateBps))
 			}
 		}
+		packet.Free() // control frames terminate here
 		return
 	}
 	if !packet.F.IPValid || sw.cfg.Route == nil {
 		sw.Stats.NoRoute.Inc()
+		packet.Free()
 		return
 	}
 	out := sw.cfg.Route(packet.F.DstIP)
 	if out < 0 || out >= len(sw.ports) {
 		sw.Stats.NoRoute.Inc()
+		packet.Free()
 		return
 	}
 	egress := sw.ports[out]
 	if egress.Peer() == nil {
 		// Traffic leaving the instantiated subgraph (sparse topologies).
 		sw.Stats.DeadPort.Inc()
+		packet.Free()
 		return
 	}
 
@@ -139,7 +146,8 @@ func (sw *Switch) HandleFrame(p *Port, packet *Packet) {
 		delay += sw.cfg.Jitter(sw.rng)
 	}
 	sw.Stats.Forwarded.Inc()
-	sw.sim.Schedule(delay, func() { egress.Enqueue(packet) })
+	packet.NextPort = egress
+	sw.sim.ScheduleCall(delay, EnqueueCall, packet)
 }
 
 // holdIngress charges the frame against its ingress port's PFC account and
@@ -150,9 +158,7 @@ func (sw *Switch) holdIngress(in *Port, class pkt.TrafficClass, packet *Packet) 
 	sw.ingressBytes[i][class] += size
 	sw.Stats.IngressHold.Add(int64(size))
 	packet.ingress = in
-	packet.release = func(pk *Packet) {
-		sw.releaseIngress(in, class, pk.WireLen())
-	}
+	packet.held = true
 	if !sw.paused[i][class] && sw.ingressBytes[i][class] > sw.cfg.PFC.XoffBytes {
 		sw.paused[i][class] = true
 		sw.sendPause(in, class, sw.cfg.PFC.PauseQuanta)

@@ -248,10 +248,22 @@ func ipHeaderOffset(buf []byte) (int, bool) {
 // Decode parses an encoded frame. It validates the IPv4 checksum and
 // returns a Frame whose Payload aliases buf.
 func Decode(buf []byte) (*Frame, error) {
-	if len(buf) < EthHeaderLen {
-		return nil, ErrTruncated
-	}
 	f := &Frame{}
+	if err := DecodeInto(f, buf); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// DecodeInto parses an encoded frame into a caller-provided Frame,
+// overwriting it completely. It is Decode without the allocation, for
+// callers that embed the Frame in a pooled carrier. On error the Frame's
+// contents are unspecified.
+func DecodeInto(f *Frame, buf []byte) error {
+	*f = Frame{}
+	if len(buf) < EthHeaderLen {
+		return ErrTruncated
+	}
 	copy(f.Dst[:], buf[0:6])
 	copy(f.Src[:], buf[6:12])
 	off := 12
@@ -259,7 +271,7 @@ func Decode(buf []byte) (*Frame, error) {
 	off += 2
 	if f.EtherType == EtherTypeVLAN {
 		if len(buf) < off+4 {
-			return nil, ErrTruncated
+			return ErrTruncated
 		}
 		tci := binary.BigEndian.Uint16(buf[off:])
 		f.HasVLAN = true
@@ -270,21 +282,21 @@ func Decode(buf []byte) (*Frame, error) {
 	}
 	if f.EtherType == EtherTypePFC {
 		f.Payload = buf[off:]
-		return f, nil
+		return nil
 	}
 	if f.EtherType != EtherTypeIPv4 {
 		f.Payload = buf[off:]
-		return f, nil
+		return nil
 	}
 	if len(buf) < off+IPv4HeaderLen {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	ip := buf[off : off+IPv4HeaderLen]
 	if ip[0]>>4 != 4 {
-		return nil, ErrBadVersion
+		return ErrBadVersion
 	}
 	if ipChecksum(ip) != 0 {
-		return nil, ErrBadChecksum
+		return ErrBadChecksum
 	}
 	f.IPValid = true
 	f.ECN = ip[1] & 0x3
@@ -295,25 +307,25 @@ func Decode(buf []byte) (*Frame, error) {
 	copy(f.SrcIP[:], ip[12:16])
 	copy(f.DstIP[:], ip[16:20])
 	if totalLen < IPv4HeaderLen || off+totalLen > len(buf) {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	body := buf[off+IPv4HeaderLen : off+totalLen]
 	if f.Protocol == ProtoUDP {
 		if len(body) < UDPHeaderLen {
-			return nil, ErrTruncated
+			return ErrTruncated
 		}
 		f.UDPValid = true
 		f.SrcPort = binary.BigEndian.Uint16(body[0:])
 		f.DstPort = binary.BigEndian.Uint16(body[2:])
 		ulen := int(binary.BigEndian.Uint16(body[4:]))
 		if ulen < UDPHeaderLen || ulen > len(body) {
-			return nil, ErrTruncated
+			return ErrTruncated
 		}
 		f.Payload = body[UDPHeaderLen:ulen]
 	} else {
 		f.Payload = body
 	}
-	return f, nil
+	return nil
 }
 
 // ipChecksum computes the Internet checksum over an IPv4 header. Computing

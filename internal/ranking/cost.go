@@ -107,9 +107,30 @@ func NewProfilePool(rng *rand.Rand, n int, cm CostModel) *ProfilePool {
 	return pool
 }
 
-// Sample draws a random profile.
+// Sample draws a random profile from the pool's own RNG stream. Only
+// safe for single-goroutine use; concurrent sweep points must each use
+// their own Sampler.
 func (pp *ProfilePool) Sample() Profile {
 	return pp.profiles[pp.rng.Intn(len(pp.profiles))]
+}
+
+// Sampler draws profiles from a shared (immutable) pool with a private
+// RNG stream, so sweep points running in parallel neither race on nor
+// perturb each other's draw sequence.
+type Sampler struct {
+	pool *ProfilePool
+	rng  *rand.Rand
+}
+
+// NewSampler derives an independent sampler; seed fixes its draw
+// sequence.
+func (pp *ProfilePool) NewSampler(seed int64) *Sampler {
+	return &Sampler{pool: pp, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Sample draws a random profile.
+func (sa *Sampler) Sample() Profile {
+	return sa.pool.profiles[sa.rng.Intn(len(sa.pool.profiles))]
 }
 
 // MeanSwTotal reports the pool's mean software-only service time.

@@ -7,6 +7,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/svclb"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -22,7 +23,10 @@ type SweepConfig struct {
 	Points       int // sweep points per curve
 	MaxUtil      float64
 	PCIeOverhead sim.Time
-	RemoteRTT    func() sim.Time // for RemoteFPGA sweeps
+	// RemoteRTT supplies the network round trip per remote feature call
+	// for RemoteFPGA sweeps. It receives a point-private RNG (sweep
+	// points run concurrently) and must derive all randomness from it.
+	RemoteRTT func(rng *rand.Rand) sim.Time
 	// RemoteFPGAs > 1 replaces the single shared remote engine with a pool
 	// of that many engines, each call routed by a service-level balancer
 	// (policy named by LB, default p2c) instead of static assignment.
@@ -65,23 +69,28 @@ func (sc SweepConfig) Capacity(pool *ProfilePool, mode Mode) float64 {
 	}
 }
 
-// Sweep measures one latency-throughput curve.
+// Sweep measures one latency-throughput curve. Points are independent
+// simulations: per-point seeds are drawn sequentially up front, then the
+// points fan out across cores with results kept in rate order.
 func Sweep(cfg SweepConfig, mode Mode) []SweepPoint {
 	seedRng := rand.New(rand.NewSource(cfg.Seed))
 	pool := NewProfilePool(rand.New(rand.NewSource(cfg.Seed)), cfg.PoolSize, cfg.Cost)
 	capQPS := cfg.Capacity(pool, mode)
 
-	var points []SweepPoint
-	for i := 1; i <= cfg.Points; i++ {
-		frac := cfg.MaxUtil * float64(i) / float64(cfg.Points)
-		rate := frac * capQPS
-		points = append(points, runPoint(cfg, mode, pool, rate, seedRng.Int63()))
+	seeds := make([]int64, cfg.Points)
+	for i := range seeds {
+		seeds[i] = seedRng.Int63()
 	}
-	return points
+	return sweep.Map(cfg.Points, func(i int) SweepPoint {
+		frac := cfg.MaxUtil * float64(i+1) / float64(cfg.Points)
+		return runPoint(cfg, mode, pool.NewSampler(seeds[i]), frac*capQPS, seeds[i])
+	})
 }
 
 // runPoint simulates one arrival rate until QueriesPer queries complete.
-func runPoint(cfg SweepConfig, mode Mode, pool *ProfilePool, qps float64, seed int64) SweepPoint {
+// pool draws go through a point-private sampler so concurrent points
+// don't share RNG state.
+func runPoint(cfg SweepConfig, mode Mode, pool *Sampler, qps float64, seed int64) SweepPoint {
 	s := sim.New(seed)
 	var fpga *host.CPU
 	var fpgas []*host.CPU
@@ -113,10 +122,15 @@ func runPoint(cfg SweepConfig, mode Mode, pool *ProfilePool, qps float64, seed i
 	case mode != Software:
 		fpga = host.NewCPU(s, 1)
 	}
+	var remoteRTT func() sim.Time
+	if cfg.RemoteRTT != nil {
+		rttRng := s.NewRand() // point-private stream for RTT draws
+		remoteRTT = func() sim.Time { return cfg.RemoteRTT(rttRng) }
+	}
 	sv := NewServer(s, ServerConfig{
 		Cores: cfg.Cores, Mode: mode,
 		PCIeOverhead: cfg.PCIeOverhead,
-		RemoteRTT:    cfg.RemoteRTT,
+		RemoteRTT:    remoteRTT,
 		FPGA:         fpga,
 		PickFPGA:     pick,
 	})
@@ -186,11 +200,15 @@ type Fig6Result struct {
 	ThroughputGain float64
 }
 
-// Fig6 runs both curves and computes the gain.
+// Fig6 runs both curves (concurrently — each is a self-contained sweep)
+// and computes the gain.
 func Fig6(cfg SweepConfig) Fig6Result {
+	curves := sweep.Over([]Mode{Software, LocalFPGA}, func(_ int, m Mode) []SweepPoint {
+		return Sweep(cfg, m)
+	})
 	res := Fig6Result{
-		Software:  Sweep(cfg, Software),
-		LocalFPGA: Sweep(cfg, LocalFPGA),
+		Software:  curves[0],
+		LocalFPGA: curves[1],
 	}
 	// Nominal software operating point: ~70% of the sweep range (the
 	// "well tuned" production point where targets are met).
@@ -318,8 +336,18 @@ func Production(cfg ProductionConfig) ProductionResult {
 	target := calibrateTarget(cfg, pool, meanQPS)
 
 	res := ProductionResult{TargetLatency: target}
-	res.Software = runProduction(cfg, pool, Software, meanQPS, target)
-	res.FPGA = runProduction(cfg, pool, LocalFPGA, meanQPS, 0) // no cap needed
+	// The two datacenters see "the same" diurnal traffic but are fully
+	// independent simulations — run them on separate cores. Each gets a
+	// mode-keyed sampler so neither perturbs the other's draw sequence.
+	runs := sweep.Over([]Mode{Software, LocalFPGA}, func(_ int, m Mode) []WindowSample {
+		sampler := pool.NewSampler(cfg.Seed + int64(m) + 200)
+		capTarget := target
+		if m != Software {
+			capTarget = 0 // no cap needed
+		}
+		return runProduction(cfg, sampler, m, meanQPS, capTarget)
+	})
+	res.Software, res.FPGA = runs[0], runs[1]
 	return res
 }
 
@@ -327,8 +355,9 @@ func calibrateTarget(cfg ProductionConfig, pool *ProfilePool, meanQPS float64) s
 	s := sim.New(cfg.Seed)
 	servers := buildServers(s, cfg, Software)
 	rng := s.NewRand()
+	sampler := pool.NewSampler(cfg.Seed + 100)
 	gen := workload.NewOpenLoop(s, meanQPS, func() {
-		servers[rng.Intn(len(servers))].Query(pool.Sample(), nil)
+		servers[rng.Intn(len(servers))].Query(sampler.Sample(), nil)
 	})
 	gen.Start()
 	s.RunUntil(cfg.DayLength / 2)
@@ -357,7 +386,7 @@ func buildServers(s *sim.Simulation, cfg ProductionConfig, mode Mode) []*Server 
 // runProduction simulates one datacenter for Days x DayLength under the
 // diurnal profile, with an optional latency-triggered admission cap
 // (target > 0 enables the software DC's load balancer behavior).
-func runProduction(cfg ProductionConfig, pool *ProfilePool, mode Mode, meanQPS float64, target sim.Time) []WindowSample {
+func runProduction(cfg ProductionConfig, pool *Sampler, mode Mode, meanQPS float64, target sim.Time) []WindowSample {
 	s := sim.New(cfg.Seed + int64(mode) + 100)
 	servers := buildServers(s, cfg, mode)
 	rng := s.NewRand()

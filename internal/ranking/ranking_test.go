@@ -264,8 +264,7 @@ func TestFig11RemoteOverheadMinimal(t *testing.T) {
 		t.Skip("sweep is heavy")
 	}
 	cfg := smallSweepConfig()
-	rng := rand.New(rand.NewSource(9))
-	cfg.RemoteRTT = func() sim.Time {
+	cfg.RemoteRTT = func(rng *rand.Rand) sim.Time {
 		// L1-tier LTL round trip: ~7.7us with a small tail.
 		return 7500*sim.Nanosecond + sim.Time(rng.ExpFloat64()*500)*sim.Nanosecond
 	}
@@ -289,8 +288,7 @@ func TestRemotePoolRoutedSweep(t *testing.T) {
 		cfg := smallSweepConfig()
 		cfg.RemoteFPGAs = 4
 		cfg.LB = lb
-		rng := rand.New(rand.NewSource(9))
-		cfg.RemoteRTT = func() sim.Time {
+		cfg.RemoteRTT = func(rng *rand.Rand) sim.Time {
 			return 7500*sim.Nanosecond + sim.Time(rng.ExpFloat64()*500)*sim.Nanosecond
 		}
 		return cfg

@@ -271,9 +271,9 @@ func (sh *Shell) Output(buf []byte) {
 	if sh.lossRate > 0 && sh.lossRng.Float64() < sh.lossRate {
 		return // flaky link ate the frame
 	}
-	sh.sim.Schedule(sh.cfg.BridgeLatency, func() {
-		sh.netPort.Enqueue(netsim.NewPacket(buf))
-	})
+	packet := netsim.NewPacket(buf)
+	packet.NextPort = sh.netPort
+	sh.sim.ScheduleCall(sh.cfg.BridgeLatency, netsim.EnqueueCall, packet)
 }
 
 // AddTap appends a tap to the bridge datapath (taps run in order).
@@ -281,6 +281,9 @@ func (sh *Shell) AddTap(t Tap) { sh.taps = append(sh.taps, t) }
 
 // HandleFrame implements netsim.Device: the bridge.
 func (sh *Shell) HandleFrame(p *netsim.Port, packet *netsim.Packet) {
+	if netsim.ParanoidEnabled() {
+		packet.Verify()
+	}
 	// PFC is link-local: pause our own egress on the link it arrived on.
 	if packet.F.EtherType == pkt.EtherTypePFC {
 		if f, ok := pkt.DecodePFC(packet.F.Payload); ok {
@@ -291,10 +294,12 @@ func (sh *Shell) HandleFrame(p *netsim.Port, packet *netsim.Packet) {
 				}
 			}
 		}
+		packet.Free() // control frames terminate here
 		return
 	}
 	if !sh.bridgeUp {
 		sh.Stats.DroppedDown.Inc()
+		packet.Free()
 		return
 	}
 
@@ -309,6 +314,7 @@ func (sh *Shell) HandleFrame(p *netsim.Port, packet *netsim.Packet) {
 	// LTL frames addressed to this node terminate in the protocol engine.
 	// A NoLTL shell has no engine: such frames fall through to the host,
 	// which has no listener — equivalent to a closed port.
+	// The engine retains packet.F, so the packet is never recycled here.
 	if dir == NetToHost && packet.F.IsLTL() && packet.F.DstIP == sh.ip && sh.Engine != nil {
 		sh.Stats.LTLConsumed.Inc()
 		sh.Engine.HandleFrame(packet.F)
@@ -323,6 +329,7 @@ func (sh *Shell) HandleFrame(p *netsim.Port, packet *netsim.Packet) {
 		tapDelay += delay
 		if out == nil {
 			sh.Stats.Consumed.Inc()
+			packet.Free()
 			return
 		}
 		if &out[0] != &buf[0] || len(out) != len(buf) {
@@ -337,10 +344,29 @@ func (sh *Shell) HandleFrame(p *netsim.Port, packet *netsim.Packet) {
 	}
 	sh.Stats.Bridged.Inc()
 
-	out := &netsim.Packet{Buf: buf, F: f}
-	sh.sim.Schedule(sh.cfg.BridgeLatency+tapDelay, func() {
-		sh.forward(dir, fwd, p, out)
-	})
+	out := packet
+	if f != packet.F {
+		// A tap rewrote the frame; the original is dead.
+		out = &netsim.Packet{Buf: buf, F: f, NextPort: fwd}
+		packet.Free()
+	}
+	out.NextPort = fwd
+	out.PrevPort = p
+	sh.sim.ScheduleCall(sh.cfg.BridgeLatency+tapDelay, bridgeForward, out)
+}
+
+// bridgeForward completes the bridge pipeline latency: the frame crosses
+// to the far-side port. The shell and direction are recovered from the
+// packet's flight state, keeping the per-frame path closure-free.
+func bridgeForward(v any) {
+	packet := v.(*netsim.Packet)
+	fwd, ingress := packet.NextPort, packet.PrevPort
+	sh := fwd.Device().(*Shell)
+	dir := HostToNet
+	if fwd == sh.hostPort {
+		dir = NetToHost
+	}
+	sh.forward(dir, fwd, ingress, packet)
 }
 
 // forward enqueues on the egress side and generates hop-by-hop PFC when a
@@ -380,10 +406,10 @@ func (sh *Shell) armPFCWatch(dir Direction, fwd, ingress *netsim.Port, class pkt
 }
 
 func (sh *Shell) sendPFC(out *netsim.Port, class pkt.TrafficClass, quanta uint16) {
-	var f pkt.PFCFrame
-	f.Enabled[class] = true
-	f.Quanta[class] = quanta
-	out.EnqueueControl(netsim.NewPacket(pkt.EncodePFC(sh.mac, f)))
+	var pf pkt.PFCFrame
+	pf.Enabled[class] = true
+	pf.Quanta[class] = quanta
+	out.EnqueueControl(netsim.NewPacket(pkt.EncodePFC(sh.mac, pf)))
 }
 
 // ---- Role slot ----

@@ -2,13 +2,14 @@
 //
 // All Configurable Cloud models (network, FPGA shell, LTL, applications) run
 // on top of a single Simulation instance: a virtual clock expressed in
-// nanoseconds and a binary-heap event queue with a (time, sequence) total
-// order, so repeated runs with the same seed are bit-identical.
+// nanoseconds and a hierarchical timing-wheel event queue with a
+// (time, sequence) total order, so repeated runs with the same seed are
+// bit-identical.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math/bits"
 	"math/rand"
 )
 
@@ -51,12 +52,16 @@ type Handler func()
 
 // Event is a scheduled occurrence. Cancel it via Simulation.Cancel.
 type Event struct {
-	at      Time
-	seq     uint64
-	index   int // heap index, -1 when not queued
-	fn      Handler
-	label   string
-	stopped bool
+	at    Time
+	seq   uint64
+	fn    Handler
+	call  func(any) // closure-free fast path (ScheduleCall)
+	arg   any
+	label string
+
+	queued  bool // still in the wheel (not yet popped)
+	stopped bool // lazily cancelled; skipped when popped
+	pooled  bool // owned by the freelist; recycled after firing
 }
 
 // At returns the virtual time this event fires at.
@@ -65,33 +70,26 @@ func (e *Event) At() Time { return e.at }
 // Label returns the diagnostic label given at scheduling time.
 func (e *Event) Label() string { return e.label }
 
-type eventHeap []*Event
+// The event queue is a hierarchical digit timing wheel: virtual time is
+// read as an 11-digit base-64 number, and an event is filed at the lowest
+// level whose digit differs from the wheel cursor's. Level-0 buckets
+// therefore hold exactly one nanosecond timestamp, so plain append order
+// is (time, seq) order and popping never sorts. Higher-level buckets are
+// cascaded (redistributed one level down) when the cursor enters their
+// window, which preserves append order — and append order within a bucket
+// is always seq order for equal timestamps. One occupancy bitmap per level
+// makes find-min a TrailingZeros64 scan.
+const (
+	wheelBits   = 6  // log2 of the wheel radix
+	wheelWidth  = 64 // buckets per level
+	wheelLevels = 11 // 64^11 > 2^63: covers the full Time range
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+	maxTime = Time(1<<63 - 1)
+)
+
+type bucket struct {
+	evs  []*Event
+	head int // pop cursor; evs[:head] already popped
 }
 
 // Simulation is a single-threaded discrete-event simulator.
@@ -99,11 +97,23 @@ func (h *eventHeap) Pop() any {
 type Simulation struct {
 	now    Time
 	seq    uint64
-	queue  eventHeap
 	rng    *rand.Rand
 	seed   int64
 	fired  uint64
+	live   int // queued, non-cancelled events
 	halted bool
+
+	// Timing wheel. Invariants: every queued event has at >= wheelTime,
+	// and wheelTime never exceeds the virtual clock's next resting point,
+	// so late Schedule calls can never land behind the cursor.
+	wheelTime Time
+	occ       [wheelLevels]uint64
+	levels    [wheelLevels][wheelWidth]bucket
+
+	// Freelist for ScheduleCall events. Only handle-free events are
+	// recycled: a caller holding a *Event from Schedule could otherwise
+	// Cancel a recycled event that now belongs to someone else.
+	free []*Event
 
 	// Event trace ring (trace.go); disabled unless EnableTrace is called.
 	trace     []TraceEntry
@@ -133,11 +143,98 @@ func (s *Simulation) NewRand() *rand.Rand {
 	return rand.New(rand.NewSource(s.rng.Int63()))
 }
 
-// Fired reports how many events have executed so far.
+// Fired reports how many events have executed so far. Lazily-cancelled
+// events are discarded without executing and are not counted.
 func (s *Simulation) Fired() uint64 { return s.fired }
 
-// Pending reports how many events are queued.
-func (s *Simulation) Pending() int { return len(s.queue) }
+// Pending reports how many live (non-cancelled) events are queued.
+func (s *Simulation) Pending() int { return s.live }
+
+// insert files e at the lowest wheel level whose digit of e.at differs
+// from the cursor's (level 0 when they agree everywhere above the low
+// digit, i.e. e.at is within the cursor's current 64 ns window).
+func (s *Simulation) insert(e *Event) {
+	d := uint64(e.at) ^ uint64(s.wheelTime)
+	l := 0
+	if d != 0 {
+		l = (63 - bits.LeadingZeros64(d)) / wheelBits
+	}
+	j := (uint64(e.at) >> (wheelBits * uint(l))) & (wheelWidth - 1)
+	b := &s.levels[l][j]
+	b.evs = append(b.evs, e)
+	s.occ[l] |= 1 << j
+}
+
+// cascade empties bucket (l, j), refiling its events one or more levels
+// down. Callers must first advance wheelTime to the bucket's window start
+// so every event refiles strictly below level l. Tombstones are dropped
+// here instead of being refiled.
+func (s *Simulation) cascade(l int, j uint64) {
+	b := &s.levels[l][j]
+	evs, head := b.evs, b.head
+	b.evs, b.head = nil, 0
+	s.occ[l] &^= 1 << j
+	for i := head; i < len(evs); i++ {
+		e := evs[i]
+		evs[i] = nil
+		if e.stopped {
+			e.queued = false
+			continue
+		}
+		s.insert(e)
+	}
+	if b.evs == nil { // nothing refiled here; keep the capacity
+		b.evs = evs[:0]
+	}
+}
+
+// next pops the earliest live event with at <= limit, skipping lazily
+// cancelled tombstones, or returns nil if none exists. wheelTime never
+// advances past limit, so a deadline-bounded run leaves the cursor at or
+// before the deadline the clock will rest at.
+func (s *Simulation) next(limit Time) *Event {
+	for {
+		if s.occ[0] != 0 {
+			j := uint64(bits.TrailingZeros64(s.occ[0]))
+			at := Time(uint64(s.wheelTime)&^(wheelWidth-1) | j)
+			if at > limit {
+				return nil
+			}
+			b := &s.levels[0][j]
+			e := b.evs[b.head]
+			b.evs[b.head] = nil
+			b.head++
+			if b.head == len(b.evs) {
+				b.evs = b.evs[:0]
+				b.head = 0
+				s.occ[0] &^= 1 << j
+			}
+			e.queued = false
+			if e.stopped {
+				continue
+			}
+			s.wheelTime = at
+			return e
+		}
+		l := 1
+		for ; l < wheelLevels; l++ {
+			if s.occ[l] != 0 {
+				break
+			}
+		}
+		if l == wheelLevels {
+			return nil
+		}
+		j := uint64(bits.TrailingZeros64(s.occ[l]))
+		shift := wheelBits * uint(l)
+		windowStart := Time(uint64(s.wheelTime)&^(uint64(1)<<(shift+wheelBits)-1) | j<<shift)
+		if windowStart > limit {
+			return nil
+		}
+		s.wheelTime = windowStart
+		s.cascade(l, j)
+	}
+}
 
 // Schedule runs fn after delay (which may be zero, meaning "later this
 // instant" — zero-delay events still execute in scheduling order).
@@ -151,10 +248,38 @@ func (s *Simulation) ScheduleLabeled(delay Time, label string, fn Handler) *Even
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %d", delay))
 	}
-	e := &Event{at: s.now + delay, seq: s.seq, fn: fn, label: label, index: -1}
+	e := &Event{at: s.now + delay, seq: s.seq, fn: fn, label: label, queued: true}
 	s.seq++
-	heap.Push(&s.queue, e)
+	s.live++
+	s.insert(e)
 	return e
+}
+
+// ScheduleCall runs fn(arg) after delay. It is the allocation-free fast
+// path: the event comes from a freelist and is recycled as soon as it
+// fires, which is safe precisely because no handle is returned — nothing
+// can Cancel (or otherwise retain) an event that may since have been
+// reissued. Hot paths pass a static fn plus a pointer-shaped arg to avoid
+// both the closure and the Event allocation of Schedule.
+func (s *Simulation) ScheduleCall(delay Time, fn func(any), arg any) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", delay))
+	}
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		e = &Event{pooled: true}
+	}
+	e.at = s.now + delay
+	e.seq = s.seq
+	e.call = fn
+	e.arg = arg
+	e.queued = true
+	s.seq++
+	s.live++
+	s.insert(e)
 }
 
 // ScheduleAt runs fn at absolute virtual time at (>= Now).
@@ -166,33 +291,50 @@ func (s *Simulation) ScheduleAt(at Time, fn Handler) *Event {
 }
 
 // Cancel removes a pending event. Cancelling an already-fired or
-// already-cancelled event is a no-op. Returns true if the event was pending.
+// already-cancelled event is a no-op. Returns true if the event was
+// pending. Cancellation is lazy: the event is tombstoned in place (O(1))
+// and discarded, uncounted, when the wheel reaches it.
 func (s *Simulation) Cancel(e *Event) bool {
-	if e == nil || e.stopped || e.index < 0 {
+	if e == nil || e.stopped || !e.queued {
 		return false
 	}
 	e.stopped = true
-	heap.Remove(&s.queue, e.index)
+	s.live--
 	return true
 }
 
 // Halt stops the run loop after the current event returns.
 func (s *Simulation) Halt() { s.halted = true }
 
-// Step executes the single earliest event. It returns false when the queue
-// is empty.
-func (s *Simulation) Step() bool {
-	if len(s.queue) == 0 {
-		return false
-	}
-	e := heap.Pop(&s.queue).(*Event)
+// fire executes a popped event and recycles it if it is freelist-owned.
+func (s *Simulation) fire(e *Event) {
 	if e.at < s.now {
 		panic("sim: time went backwards")
 	}
 	s.now = e.at
 	s.fired++
+	s.live--
 	s.record(e)
+	if e.call != nil {
+		call, arg := e.call, e.arg
+		if e.pooled {
+			e.call, e.arg = nil, nil
+			s.free = append(s.free, e)
+		}
+		call(arg)
+		return
+	}
 	e.fn()
+}
+
+// Step executes the single earliest event. It returns false when the queue
+// is empty.
+func (s *Simulation) Step() bool {
+	e := s.next(maxTime)
+	if e == nil {
+		return false
+	}
+	s.fire(e)
 	return true
 }
 
@@ -205,14 +347,16 @@ func (s *Simulation) Run() {
 
 // RunUntil executes events with timestamps <= deadline, then advances the
 // clock to deadline (if the queue drained earlier). Events scheduled beyond
-// the deadline remain queued.
+// the deadline remain queued. Cancelled tombstones at or before the
+// deadline are fast-forwarded past without executing or counting them.
 func (s *Simulation) RunUntil(deadline Time) {
 	s.halted = false
 	for !s.halted {
-		if len(s.queue) == 0 || s.queue[0].at > deadline {
+		e := s.next(deadline)
+		if e == nil {
 			break
 		}
-		s.Step()
+		s.fire(e)
 	}
 	if s.now < deadline {
 		s.now = deadline

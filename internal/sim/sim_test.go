@@ -339,6 +339,219 @@ func TestPropertyCancelSubset(t *testing.T) {
 	}
 }
 
+func TestFiredExcludesCancelled(t *testing.T) {
+	s := New(1)
+	var evs []*Event
+	for i := 0; i < 10; i++ {
+		evs = append(evs, s.Schedule(Time(10+i), func() {}))
+	}
+	s.Cancel(evs[2])
+	s.Cancel(evs[5])
+	s.Cancel(evs[9])
+	if s.Pending() != 7 {
+		t.Fatalf("Pending = %d after 3 cancels, want 7", s.Pending())
+	}
+	s.Run()
+	if s.Fired() != 7 {
+		t.Fatalf("Fired = %d, want 7 (cancelled events must not count)", s.Fired())
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d after run, want 0", s.Pending())
+	}
+}
+
+func TestRunUntilFastForwardsTombstones(t *testing.T) {
+	s := New(1)
+	// Everything before the deadline is cancelled; one live event beyond.
+	for i := 0; i < 5; i++ {
+		e := s.Schedule(Time(10+i), func() { t.Error("cancelled event fired") })
+		s.Cancel(e)
+	}
+	lateFired := false
+	s.Schedule(100, func() { lateFired = true })
+	s.RunUntil(50)
+	if s.Fired() != 0 {
+		t.Fatalf("Fired = %d, want 0: tombstones must be skipped uncounted", s.Fired())
+	}
+	if s.Now() != 50 {
+		t.Fatalf("Now = %v, want 50", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", s.Pending())
+	}
+	s.Run()
+	if !lateFired || s.Fired() != 1 {
+		t.Fatalf("late event: fired=%v Fired=%d, want true/1", lateFired, s.Fired())
+	}
+}
+
+func TestCancelInsideOwnHandler(t *testing.T) {
+	s := New(1)
+	ran := 0
+	var e *Event
+	e = s.Schedule(5, func() {
+		ran++
+		if s.Cancel(e) {
+			t.Error("Cancel of the currently-firing event returned true")
+		}
+	})
+	s.Run()
+	if ran != 1 {
+		t.Fatalf("handler ran %d times, want 1", ran)
+	}
+	if s.Fired() != 1 || s.Pending() != 0 {
+		t.Fatalf("Fired=%d Pending=%d, want 1/0", s.Fired(), s.Pending())
+	}
+}
+
+func TestTickerStopRacingTick(t *testing.T) {
+	// Stop lands at the exact virtual instant of a tick. Scheduled before
+	// the ticker, it outranks the first tick by seq and must suppress it.
+	s := New(1)
+	var ticks []Time
+	var tk *Ticker
+	s.Schedule(10, func() { tk.Stop() })
+	tk = s.Every(10, 10, func() { ticks = append(ticks, s.Now()) })
+	s.Run()
+	if len(ticks) != 0 {
+		t.Fatalf("ticks %v, want none: Stop preceded the tick at the same instant", ticks)
+	}
+
+	// Stop scheduled up front for a tick's instant still outranks the
+	// tick by seq (the tick is rescheduled later, at t=10) and suppresses
+	// it — identical to the old kernel's eager-removal semantics.
+	s = New(1)
+	ticks = nil
+	tk = s.Every(10, 10, func() { ticks = append(ticks, s.Now()) })
+	s.Schedule(20, func() { tk.Stop() })
+	s.Run()
+	if len(ticks) != 1 || ticks[0] != 10 {
+		t.Fatalf("ticks %v, want [10]", ticks)
+	}
+
+	// Stop issued from a handler that runs after the tick was rescheduled
+	// (higher seq, same instant): that tick fires, only later ones die.
+	s = New(1)
+	ticks = nil
+	tk = s.Every(10, 10, func() { ticks = append(ticks, s.Now()) })
+	s.Schedule(15, func() { s.Schedule(5, func() { tk.Stop() }) })
+	s.Run()
+	want := []Time{10, 20}
+	if len(ticks) != len(want) || ticks[0] != want[0] || ticks[1] != want[1] {
+		t.Fatalf("ticks %v, want %v", ticks, want)
+	}
+}
+
+func TestZeroDelayFIFOWhileDraining(t *testing.T) {
+	// Zero-delay events appended to the bucket currently being drained
+	// must still fire in scheduling order, after earlier same-instant
+	// events scheduled before the drain began.
+	s := New(1)
+	var got []int
+	s.Schedule(10, func() {
+		got = append(got, 0)
+		s.Schedule(0, func() {
+			got = append(got, 2)
+			s.Schedule(0, func() { got = append(got, 4) })
+		})
+		s.Schedule(0, func() { got = append(got, 3) })
+	})
+	s.Schedule(10, func() { got = append(got, 1) })
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("fire order %v, want 0..4 in order", got)
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("fired %d events, want 5", len(got))
+	}
+}
+
+func TestScheduleCallOrderingAndReuse(t *testing.T) {
+	// ScheduleCall events interleave with Schedule events in strict
+	// (time, seq) order, and freelist recycling must not corrupt pending
+	// events.
+	s := New(1)
+	var got []int
+	n := 0
+	var chain func(any)
+	chain = func(v any) {
+		k := v.(*int)
+		got = append(got, *k)
+		n++
+		if n < 50 {
+			next := n * 10
+			s.ScheduleCall(1, chain, &next)
+		}
+	}
+	first := 0
+	s.ScheduleCall(5, chain, &first)
+	s.Schedule(5, func() { got = append(got, -1) })
+	s.Run()
+	if got[0] != 0 || got[1] != -1 {
+		t.Fatalf("same-instant order got[0..1] = %v, want [0 -1]", got[:2])
+	}
+	if len(got) != 51 {
+		t.Fatalf("fired %d, want 51", len(got))
+	}
+	for i := 2; i < len(got); i++ {
+		if got[i] != (i-1)*10 {
+			t.Fatalf("chain value at %d = %d, want %d (recycled event corrupted?)", i, got[i], (i-1)*10)
+		}
+	}
+}
+
+// TestWheelMatchesReferenceOrder is the ordering oracle for the timing
+// wheel: a random workload spanning every wheel level (delays from 16 ns
+// to ~12 days), with events spawning more events mid-run, must fire in
+// exactly the (time, seq) order a stable sort of all created events gives.
+func TestWheelMatchesReferenceOrder(t *testing.T) {
+	s := New(1)
+	rng := rand.New(rand.NewSource(11))
+	type ev struct {
+		at  Time
+		seq int
+	}
+	var created []ev
+	var firedLog []int
+	n := 0
+	var spawn func(depth int)
+	spawn = func(depth int) {
+		d := Time(rng.Int63n(int64(1) << uint(4+rng.Intn(36))))
+		idx := n
+		n++
+		created = append(created, ev{s.Now() + d, idx})
+		s.Schedule(d, func() {
+			firedLog = append(firedLog, idx)
+			if depth < 3 && rng.Intn(2) == 0 {
+				spawn(depth + 1)
+				spawn(depth + 1)
+			}
+		})
+	}
+	for i := 0; i < 300; i++ {
+		spawn(0)
+	}
+	s.Run()
+	expect := append([]ev(nil), created...)
+	sort.Slice(expect, func(i, j int) bool {
+		if expect[i].at != expect[j].at {
+			return expect[i].at < expect[j].at
+		}
+		return expect[i].seq < expect[j].seq
+	})
+	if len(firedLog) != len(expect) {
+		t.Fatalf("fired %d events, created %d", len(firedLog), len(expect))
+	}
+	for i := range expect {
+		if firedLog[i] != expect[i].seq {
+			t.Fatalf("fire order diverges from (time, seq) reference at position %d: got seq %d, want seq %d (at=%v)",
+				i, firedLog[i], expect[i].seq, expect[i].at)
+		}
+	}
+}
+
 func TestTimeString(t *testing.T) {
 	cases := []struct {
 		in   Time

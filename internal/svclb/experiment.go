@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 // SweepConfig drives the oversubscription sweep: for each client count,
@@ -60,7 +61,9 @@ type SweepResult struct {
 	MaxSustainedRatio float64
 }
 
-// Sweep runs one policy variant across the client counts.
+// Sweep runs one policy variant across the client counts. Each count is
+// an independent balancer simulation, so the points fan out across cores
+// with results kept in client-count order.
 func Sweep(sc SweepConfig, policy string, admission bool) SweepResult {
 	sc = sc.withDefaults()
 	label := policy
@@ -68,14 +71,15 @@ func Sweep(sc SweepConfig, policy string, admission bool) SweepResult {
 		label += "+ac"
 	}
 	out := SweepResult{Label: label, Policy: policy, Admission: admission}
-	contiguous := true
-	for _, clients := range sc.ClientCounts {
+	out.Points = sweep.Over(sc.ClientCounts, func(_ int, clients int) Result {
 		cfg := sc.Base
 		cfg.Clients = clients
 		cfg.Policy = policy
 		cfg.Admission = admission
-		r := Run(cfg)
-		out.Points = append(out.Points, r)
+		return Run(cfg)
+	})
+	contiguous := true
+	for _, r := range out.Points {
 		if contiguous && sc.Sustained(r) {
 			out.MaxSustainedRatio = r.Ratio
 		} else {
@@ -104,12 +108,12 @@ func DefaultVariants() []Variant {
 }
 
 // ComparePolicies sweeps every variant under identical workloads.
+// Variants are independent (each Run builds its own simulation), so they
+// fan out too; output order follows the variants slice.
 func ComparePolicies(sc SweepConfig, variants []Variant) []SweepResult {
-	out := make([]SweepResult, 0, len(variants))
-	for _, v := range variants {
-		out = append(out, Sweep(sc, v.Policy, v.Admission))
-	}
-	return out
+	return sweep.Over(variants, func(_ int, v Variant) SweepResult {
+		return Sweep(sc, v.Policy, v.Admission)
+	})
 }
 
 // RatioLabel formats a clients-per-FPGA ratio column.

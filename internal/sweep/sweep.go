@@ -1,0 +1,114 @@
+// Package sweep fans independent simulation points across CPU cores.
+//
+// Every experiment sweep in this repo has the same shape: N points, each
+// owning a private sim.Simulation seeded up front, with no shared mutable
+// state between points. That makes the points embarrassingly parallel —
+// as long as (a) all randomness a point consumes is derived from inputs
+// fixed before the fan-out, and (b) results are reassembled in index
+// order. Map enforces (b); callers are responsible for (a), typically by
+// pre-drawing per-point seeds from a sequential RNG before calling Map.
+//
+// Determinism contract: Map(n, fn) returns exactly what a sequential
+// loop `for i := range out { out[i] = fn(i) }` would return, regardless
+// of worker count or scheduling. Tests assert this by comparing runs
+// under SetSequential(true) and (false).
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// sequential forces Map onto the calling goroutine (index order). Used
+// by determinism tests and the ccexperiment -seq flag; also handy when
+// reading interleaved debug output.
+var sequential atomic.Bool
+
+// SetSequential toggles sequential mode for all subsequent Map calls.
+func SetSequential(on bool) { sequential.Store(on) }
+
+// SequentialEnabled reports whether sequential mode is on.
+func SequentialEnabled() bool { return sequential.Load() }
+
+// Workers returns the worker count Map would use for n points.
+func Workers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+type caughtPanic struct {
+	val   any
+	stack []byte
+}
+
+// Map runs fn(i) for every i in [0,n) and returns the results indexed by
+// i. Points run concurrently on up to GOMAXPROCS workers (or inline, in
+// index order, when sequential mode is on or only one worker is
+// available). fn must not share mutable state across points: each point
+// builds its own simulation from inputs fixed before Map is called.
+//
+// If a point panics, Map re-panics with the first panic's value and
+// stack after the workers drain (sequential mode aborts at the panic,
+// like a plain loop), so a crash in a worker is never swallowed.
+func Map[T any](n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	if n == 0 {
+		return out
+	}
+	workers := Workers(n)
+	if workers == 1 || sequential.Load() {
+		for i := range out {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var (
+		next  atomic.Int64
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first *caughtPanic
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							mu.Lock()
+							if first == nil {
+								first = &caughtPanic{val: r, stack: debug.Stack()}
+							}
+							mu.Unlock()
+						}
+					}()
+					out[i] = fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if first != nil {
+		panic(fmt.Sprintf("sweep: point panicked: %v\n%s", first.val, first.stack))
+	}
+	return out
+}
+
+// Over is Map for a slice of inputs: out[i] = fn(i, items[i]).
+func Over[S, T any](items []S, fn func(i int, item S) T) []T {
+	return Map(len(items), func(i int) T { return fn(i, items[i]) })
+}

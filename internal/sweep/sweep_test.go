@@ -1,0 +1,71 @@
+package sweep
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrderAndCompleteness(t *testing.T) {
+	const n = 257
+	got := Map(n, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapMatchesSequential(t *testing.T) {
+	fn := func(i int) int { return (i*2654435761 + 1) % 9973 }
+	par := Map(100, fn)
+	SetSequential(true)
+	defer SetSequential(false)
+	seq := Map(100, fn)
+	for i := range par {
+		if par[i] != seq[i] {
+			t.Fatalf("parallel and sequential diverge at %d: %d vs %d", i, par[i], seq[i])
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if got := Map(0, func(int) int { panic("must not run") }); len(got) != 0 {
+		t.Fatalf("Map(0) returned %d results", len(got))
+	}
+}
+
+func TestMapPanicPropagates(t *testing.T) {
+	var ran atomic.Int64
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate")
+		}
+		if !strings.Contains(r.(string), "boom-7") {
+			t.Fatalf("panic lost its value: %v", r)
+		}
+		// At least the points before the panicking one ran (exact count
+		// depends on worker count; sequential mode stops at the panic).
+		if ran.Load() < 7 {
+			t.Fatalf("completed only %d healthy points", ran.Load())
+		}
+	}()
+	Map(16, func(i int) int {
+		if i == 7 {
+			panic("boom-7")
+		}
+		ran.Add(1)
+		return i
+	})
+}
+
+func TestOver(t *testing.T) {
+	got := Over([]string{"a", "bb", "ccc"}, func(i int, s string) int { return i + len(s) })
+	want := []int{1, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Over[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
