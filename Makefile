@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench experiments examples fuzz clean
+.PHONY: all build vet test test-short race bench experiments examples fuzz docs telemetry clean
 
-all: build vet test
+all: build vet test docs
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,15 @@ bench:
 # Regenerate every paper table/figure at paper-like sizing.
 experiments:
 	$(GO) run ./cmd/ccexperiment -exp all -full
+
+# Documentation lint: markdown link targets + package doc comments.
+docs:
+	$(GO) run ./cmd/ccdocs
+
+# Per-sweep-point telemetry for the svclb experiment, plus waterfalls of
+# the slowest traced flows (see OBSERVABILITY.md).
+telemetry:
+	$(GO) run ./cmd/ccexperiment -exp svclb -telemetry svclb.jsonl -trace-dump 3
 
 # Run every example binary once.
 examples:

@@ -9,6 +9,8 @@
 //	ccexperiment -exp faults -faults lossy   # run under a fault profile
 //	ccexperiment -exp svclb -lb jsq          # pick the routing policy
 //	ccexperiment -exp fig6 -cpuprofile cpu.pb.gz  # profile the hot path
+//	ccexperiment -exp svclb -telemetry out.jsonl  # per-point metrics+spans
+//	ccexperiment -exp svclb -telemetry out.jsonl -trace-dump 3  # + waterfalls
 //
 // Experiments (and the sweep points inside them) are independent
 // simulations and run in parallel across cores; output order is always
@@ -26,6 +28,7 @@ import (
 	"strings"
 
 	configcloud "repro"
+	"repro/internal/obs"
 	"repro/internal/sweep"
 )
 
@@ -39,6 +42,8 @@ func main() {
 	seq := flag.Bool("seq", false, "run everything sequentially on one goroutine")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	telemetry := flag.String("telemetry", "", "write per-sweep-point telemetry (metrics + spans) to this JSONL file")
+	traceDump := flag.Int("trace-dump", 0, "with -telemetry: also print waterfalls for the N slowest traced flows per point")
 	flag.Parse()
 
 	if *list {
@@ -62,6 +67,10 @@ func main() {
 		fail("%v", err)
 	}
 	sweep.SetSequential(*seq)
+	if *traceDump > 0 && *telemetry == "" {
+		fail("-trace-dump requires -telemetry")
+	}
+	configcloud.SetTelemetry(*telemetry != "")
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -111,6 +120,28 @@ func main() {
 			fail("%v", r.err)
 		}
 		fmt.Print(r.out)
+	}
+
+	if *telemetry != "" {
+		recs := configcloud.DrainTelemetry()
+		f, err := os.Create(*telemetry)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := obs.EncodeAll(f, recs); err != nil {
+			fail("writing telemetry: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("writing telemetry: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "ccexperiment: wrote %d telemetry records to %s\n", len(recs), *telemetry)
+		if *traceDump > 0 {
+			for _, rec := range recs {
+				fmt.Printf("### trace %s %s (%d spans, %d dropped)\n\n",
+					rec.Experiment, rec.Point, len(rec.Spans), rec.Dropped)
+				fmt.Println(obs.Waterfall(rec.Spans, *traceDump))
+			}
+		}
 	}
 
 	if *memprofile != "" {

@@ -3,6 +3,8 @@ package configcloud
 import (
 	"fmt"
 	"math/rand"
+	"sort"
+	"sync"
 
 	"repro/internal/bioinfo"
 	"repro/internal/board"
@@ -12,6 +14,7 @@ import (
 	"repro/internal/haas"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/pkt"
 	"repro/internal/ranking"
 	"repro/internal/reliability"
@@ -32,6 +35,67 @@ var ExperimentIDs = []string{
 	"fig5", "power", "reliability", "fig6", "fig7", "fig8", "crypto",
 	"fig10", "fig11", "fig12", "haas", "ltlloss", "faults", "svclb",
 	"ext-bioinfo", "ext-compression",
+}
+
+// Telemetry collection: when enabled (cmd/ccexperiment -telemetry),
+// experiments that support it run their sweep points with observability
+// on and deposit the per-point records here; the caller drains them
+// after the sweep. The table output is unaffected — tracing rides the
+// same simulations that produce the published numbers.
+var (
+	telemetryMu      sync.Mutex
+	telemetryEnabled bool
+	telemetryRecords map[string][]*obs.Record
+)
+
+// SetTelemetry turns per-sweep-point telemetry collection on or off and
+// clears any previously collected records.
+func SetTelemetry(on bool) {
+	telemetryMu.Lock()
+	defer telemetryMu.Unlock()
+	telemetryEnabled = on
+	telemetryRecords = map[string][]*obs.Record{}
+}
+
+// TelemetryEnabled reports whether telemetry collection is on.
+func TelemetryEnabled() bool {
+	telemetryMu.Lock()
+	defer telemetryMu.Unlock()
+	return telemetryEnabled
+}
+
+// addTelemetry appends records collected by experiment id. Nil records
+// (points run without observability) are skipped.
+func addTelemetry(id string, recs ...*obs.Record) {
+	telemetryMu.Lock()
+	defer telemetryMu.Unlock()
+	if !telemetryEnabled {
+		return
+	}
+	for _, r := range recs {
+		if r != nil {
+			telemetryRecords[id] = append(telemetryRecords[id], r)
+		}
+	}
+}
+
+// DrainTelemetry returns and clears every collected record, ordered by
+// experiment id and then collection order (deterministic for a fixed
+// experiment list, since sweep points are collected in sweep order).
+func DrainTelemetry() []*obs.Record {
+	telemetryMu.Lock()
+	defer telemetryMu.Unlock()
+	ids := make([]string, 0, len(telemetryRecords))
+	for id := range telemetryRecords {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var out []*obs.Record
+	for _, id := range ids {
+		out = append(out, telemetryRecords[id]...)
+	}
+	telemetryRecords = map[string][]*obs.Record{}
+	return out
 }
 
 // Scale selects experiment sizing: tests use Quick, the benchmark harness
@@ -330,7 +394,34 @@ func ExpSvcLB(scale Scale) *Table {
 			{Policy: defaultLB, Admission: true},
 		}
 	}
+	if TelemetryEnabled() {
+		// Trace the published points themselves: observability does not
+		// schedule events, so the traced runs produce identical numbers.
+		sc.Base.Telemetry = true
+	}
 	results := svclb.ComparePolicies(sc, variants)
+	if TelemetryEnabled() {
+		for _, sr := range results {
+			for _, p := range sr.Points {
+				addTelemetry("svclb", p.Telemetry)
+			}
+		}
+		// One extra hedged point (E15): request hedging is off in the
+		// published sweep, so trace a run where the hedge path — copy,
+		// win, cancel — actually fires. Hedge wins need divergent queues,
+		// which naive random dispatch produces and p2c suppresses; they
+		// are rare, so the capture limit is raised to span the whole run.
+		// Not added to the table.
+		hc := sc.Base
+		hc.Clients = sc.ClientCounts[len(sc.ClientCounts)-1]
+		hc.Policy = svclb.PolicyRandom
+		hc.Admission = false
+		hc.HedgeDelay = 2 * hc.ServiceTime
+		hc.Duration = 150 * Millisecond
+		hc.SpanLimit = 200_000
+		hr := svclb.Run(hc)
+		addTelemetry("svclb", hr.Telemetry)
+	}
 
 	t := &Table{
 		Title: fmt.Sprintf("Sec. V-F extension — SM load balancing (%d-FPGA pool; sustain = p99 <= %v, goodput >= %.0f%%)",

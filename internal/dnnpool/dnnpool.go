@@ -21,6 +21,7 @@ import (
 	"repro/internal/host"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/pkt"
 	"repro/internal/shell"
 	"repro/internal/sim"
@@ -155,6 +156,7 @@ func RunRemote(cfg Config) Result {
 	}
 
 	lat := metrics.NewHistogram()
+	obs.RegistryOf(s).Histogram("dnnpool.latency", "ns", "dnnpool", "remote-pool request latency", lat)
 	pcie := shell.DefaultConfig()
 	pcieTime := func(n int) sim.Time {
 		return pcie.PCIeLatency + sim.Time(int64(n)*8*int64(sim.Second)/pcie.PCIeBps)
@@ -291,6 +293,7 @@ func (dnnRole) HandleRequest(src shell.RequestSource, payload []byte, respond fu
 func RunLocalBaseline(cfg Config) Result {
 	s := sim.New(cfg.Seed)
 	lat := metrics.NewHistogram()
+	obs.RegistryOf(s).Histogram("dnnpool.latency", "ns", "dnnpool", "local-baseline request latency", lat)
 	pcie := shell.DefaultConfig()
 	pcieTime := func(n int) sim.Time {
 		return pcie.PCIeLatency + sim.Time(int64(n)*8*int64(sim.Second)/pcie.PCIeBps)

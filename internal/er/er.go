@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -174,8 +175,24 @@ type Router struct {
 	inputs  []*inputPort
 	outputs []*outputPort
 
+	// ObsID disambiguates this router in observability flow IDs (terminal
+	// node numbers and message IDs restart at zero in every router).
+	// Owners that instantiate multiple routers (the FPGA shell) set it to
+	// something globally unique, e.g. the host ID.
+	ObsID int
+
+	// tracer is cached at construction (nil when observability is off);
+	// msgSpans holds open "er.msg" spans keyed like reassembly state.
+	tracer   *obs.Tracer
+	msgSpans map[spanKey]obs.SpanID
+
 	ticking bool
 	Stats   Stats
+}
+
+type spanKey struct {
+	src, vc int
+	msgID   uint64
 }
 
 // New constructs a router. Attach endpoints with Attach (or Connect for
@@ -187,7 +204,18 @@ func New(s *sim.Simulation, cfg Config) *Router {
 	if cfg.ClockPeriod <= 0 {
 		cfg.ClockPeriod = DefaultConfig().ClockPeriod
 	}
-	r := &Router{cfg: cfg, sim: s}
+	r := &Router{cfg: cfg, sim: s, tracer: obs.TracerOf(s)}
+	if r.tracer != nil {
+		r.msgSpans = make(map[spanKey]obs.SpanID)
+	}
+	if reg := obs.RegistryOf(s); reg != nil {
+		reg.Counter("er.flits_switched", "flits", "er", "flits crossing the switch", &r.Stats.FlitsSwitched)
+		reg.Counter("er.msgs_delivered", "msgs", "er", "messages fully reassembled", &r.Stats.MsgsDelivered)
+		reg.Counter("er.stall_no_credit", "events", "er", "output stalls awaiting downstream credit", &r.Stats.StallNoCredit)
+		reg.Counter("er.stall_conflict", "events", "er", "lost switch-arbitration attempts", &r.Stats.StallConflict)
+		reg.Counter("er.cycles", "cycles", "er", "active arbitration cycles", &r.Stats.Cycles)
+		reg.Gauge("er.buf_occupancy", "flits", "er", "flits buffered across inputs", &r.Stats.BufOccupancy)
+	}
 	for i := 0; i < cfg.Ports; i++ {
 		in := &inputPort{vcs: make([]inputVC, cfg.VCs)}
 		for v := range in.vcs {
@@ -320,6 +348,9 @@ func (r *Router) tick() {
 				}
 				if inputUsed[i] {
 					r.Stats.StallConflict.Inc()
+					if r.tracer != nil {
+						r.tracer.Event(obs.ERFlow(r.ObsID, head.SrcNode, head.MsgID), "er.stall_conflict", 0, int64(o))
+					}
 					continue
 				}
 				// VC allocation: a head flit needs the output VC free or
@@ -328,6 +359,9 @@ func (r *Router) tick() {
 				if head.Head {
 					if owner != nil && !(owner.in == i && owner.vc == v) {
 						r.Stats.StallConflict.Inc()
+						if r.tracer != nil {
+							r.tracer.Event(obs.ERFlow(r.ObsID, head.SrcNode, head.MsgID), "er.stall_conflict", 0, int64(o))
+						}
 						continue
 					}
 				} else if owner == nil || owner.in != i || owner.vc != v {
@@ -335,6 +369,9 @@ func (r *Router) tick() {
 				}
 				if !out.hasCredit(head.VC) {
 					r.Stats.StallNoCredit.Inc()
+					if r.tracer != nil {
+						r.tracer.Event(obs.ERFlow(r.ObsID, head.SrcNode, head.MsgID), "er.stall_credit", 0, int64(o))
+					}
 					continue
 				}
 				cands = append(cands, cand{i, v})

@@ -3,6 +3,7 @@ package er
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -94,6 +95,12 @@ func (t *Terminal) Send(dstNode, vc int, payload []byte) {
 		panic(fmt.Sprintf("er: send on invalid vc %d", vc))
 	}
 	t.nextMsgID++
+	if t.router.tracer != nil {
+		flow := obs.ERFlow(t.router.ObsID, t.Node, t.nextMsgID)
+		id := t.router.tracer.Start(flow, "er.msg", 0)
+		t.router.tracer.SetArg(id, int64(len(payload)))
+		t.router.msgSpans[spanKey{t.Node, vc, t.nextMsgID}] = id
+	}
 	fb := t.router.cfg.FlitBytes
 	n := (len(payload) + fb - 1) / fb
 	if n == 0 {
@@ -154,6 +161,13 @@ func (t *Terminal) AcceptFlit(f *Flit) {
 	if f.Tail {
 		delete(t.partial, key)
 		t.router.Stats.MsgsDelivered.Inc()
+		if t.router.msgSpans != nil {
+			sk := spanKey{f.SrcNode, f.VC, f.MsgID}
+			if id, ok := t.router.msgSpans[sk]; ok {
+				delete(t.router.msgSpans, sk)
+				t.router.tracer.End(id)
+			}
+		}
 		if t.OnMessage != nil {
 			msg := m
 			t.sim.Schedule(0, func() { t.OnMessage(msg) })

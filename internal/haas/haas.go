@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -102,6 +103,11 @@ type ResourceManager struct {
 	poll      *sim.Ticker
 	stopped   bool
 	leaseByNd map[NodeID]int
+
+	// tracer is cached at construction (nil when observability is off);
+	// leaseSpans holds each live lease's open "haas.lease" span.
+	tracer     *obs.Tracer
+	leaseSpans map[int]obs.SpanID
 }
 
 type nodeEntry struct {
@@ -124,6 +130,17 @@ func NewResourceManager(s *sim.Simulation, cfg RMConfig) *ResourceManager {
 		leases:    make(map[int]*Component),
 		onFailure: make(map[int]func(NodeID)),
 		leaseByNd: make(map[NodeID]int),
+		tracer:    obs.TracerOf(s),
+	}
+	if rm.tracer != nil {
+		rm.leaseSpans = make(map[int]obs.SpanID)
+	}
+	if r := obs.RegistryOf(s); r != nil {
+		r.Counter("haas.granted", "leases", "haas", "component leases granted", &rm.Granted)
+		r.Counter("haas.released", "leases", "haas", "component leases released", &rm.Released)
+		r.Counter("haas.failures", "nodes", "haas", "nodes marked dead by health polling", &rm.Failures)
+		r.Counter("haas.rejected", "leases", "haas", "lease requests denied (pool exhausted)", &rm.Rejected)
+		r.Counter("haas.replaced", "nodes", "haas", "failed lease members swapped for spares", &rm.Replaced)
 	}
 	rm.poll = s.Every(cfg.HealthPollInterval, cfg.HealthPollInterval, rm.pollHealth)
 	return rm
@@ -205,6 +222,9 @@ func (rm *ResourceManager) Lease(owner, image string, c Constraints, onFailure f
 	candidates := rm.freeNodes(c)
 	if len(candidates) < c.Count {
 		rm.Rejected.Inc()
+		if rm.tracer != nil {
+			rm.tracer.Event(obs.LeaseFlow(uint64(rm.nextID)), "haas.reject", 0, int64(c.Count))
+		}
 		return nil, fmt.Errorf("haas: insufficient free FPGAs for %q: need %d, have %d",
 			owner, c.Count, len(candidates))
 	}
@@ -223,6 +243,11 @@ func (rm *ResourceManager) Lease(owner, image string, c Constraints, onFailure f
 		rm.onFailure[comp.LeaseID] = onFailure
 	}
 	rm.Granted.Inc()
+	if rm.tracer != nil {
+		id := rm.tracer.Start(obs.LeaseFlow(uint64(comp.LeaseID)), "haas.lease", 0)
+		rm.tracer.SetArg(id, int64(len(comp.Nodes)))
+		rm.leaseSpans[comp.LeaseID] = id
+	}
 	return comp, nil
 }
 
@@ -279,6 +304,12 @@ func (rm *ResourceManager) Release(leaseID int) {
 	delete(rm.leases, leaseID)
 	delete(rm.onFailure, leaseID)
 	rm.Released.Inc()
+	if rm.leaseSpans != nil {
+		if id, ok := rm.leaseSpans[leaseID]; ok {
+			delete(rm.leaseSpans, leaseID)
+			rm.tracer.End(id)
+		}
+	}
 }
 
 // ReplaceNode swaps a failed member of a lease for a fresh node ("Failing
@@ -304,6 +335,9 @@ func (rm *ResourceManager) ReplaceNode(leaseID int, failed NodeID, image string)
 				e.fm.Configure(image)
 			}
 			rm.Replaced.Inc()
+			if rm.tracer != nil {
+				rm.tracer.Event(obs.LeaseFlow(uint64(leaseID)), "haas.replace", rm.leaseSpans[leaseID], int64(repl))
+			}
 			return repl, nil
 		}
 	}
@@ -325,6 +359,15 @@ func (rm *ResourceManager) pollHealth() {
 		}
 		e.state = NodeDead
 		rm.Failures.Inc()
+		if rm.tracer != nil {
+			var parent obs.SpanID
+			var flow obs.FlowID
+			if leaseID, ok := rm.leaseByNd[e.id]; ok {
+				parent = rm.leaseSpans[leaseID]
+				flow = obs.LeaseFlow(uint64(leaseID))
+			}
+			rm.tracer.Event(flow, "haas.node_dead", parent, int64(e.id))
+		}
 		if leaseID, ok := rm.leaseByNd[e.id]; ok {
 			if fn := rm.onFailure[leaseID]; fn != nil {
 				fn(e.id)

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/dcqcn"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/pkt"
 	"repro/internal/sim"
 )
@@ -151,6 +152,12 @@ type sendConn struct {
 	completions map[uint32]func()
 	sentMsgAt   map[uint32]sim.Time
 
+	// flow names this connection for the observability layer; msgSpans
+	// holds open "ltl.msg" spans keyed like completions (last-frame seq).
+	// Both are populated only when tracing is enabled.
+	flow     obs.FlowID
+	msgSpans map[uint32]obs.SpanID
+
 	onFail func()
 }
 
@@ -192,6 +199,9 @@ type Engine struct {
 	nextDynRecv uint16
 
 	ipID uint16
+
+	// tracer is cached at construction; nil when observability is off.
+	tracer *obs.Tracer
 
 	// outFn is the bound wire-output callback used with sim.ScheduleCall,
 	// built once so per-frame TX scheduling allocates no closure or event.
@@ -236,8 +246,32 @@ func New(s *sim.Simulation, wire Wire, cfg Config) *Engine {
 			MessageRTT:      metrics.NewHistogram(),
 			DeliveryLatency: metrics.NewHistogram(),
 		},
+		tracer: obs.TracerOf(s),
 	}
 	e.outFn = func(v any) { e.wire.Output(v.([]byte)) }
+	if r := obs.RegistryOf(s); r != nil {
+		r.Counter("ltl.frames_sent", "frames", "ltl", "data frames transmitted (first try)", &e.Stats.FramesSent)
+		r.Counter("ltl.frames_recv", "frames", "ltl", "data frames accepted in order", &e.Stats.FramesRecv)
+		r.Counter("ltl.bytes_sent", "bytes", "ltl", "framed bytes handed to the wire", &e.Stats.BytesSent)
+		r.Counter("ltl.acks_sent", "frames", "ltl", "cumulative ACKs emitted", &e.Stats.AcksSent)
+		r.Counter("ltl.acks_recv", "frames", "ltl", "ACKs received", &e.Stats.AcksRecv)
+		r.Counter("ltl.nacks_sent", "frames", "ltl", "reorder NACKs emitted", &e.Stats.NacksSent)
+		r.Counter("ltl.nacks_recv", "frames", "ltl", "NACKs received", &e.Stats.NacksRecv)
+		r.Counter("ltl.retransmits", "frames", "ltl", "frames retransmitted (timeout or NACK)", &e.Stats.Retransmits)
+		r.Counter("ltl.timeouts", "events", "ltl", "retransmit-timer expiries", &e.Stats.Timeouts)
+		r.Counter("ltl.duplicates", "frames", "ltl", "duplicate data frames re-ACKed", &e.Stats.Duplicates)
+		r.Counter("ltl.out_of_order", "frames", "ltl", "frames past a gap (NACK trigger)", &e.Stats.OutOfOrder)
+		r.Counter("ltl.cnps_sent", "frames", "ltl", "DCQCN congestion notifications sent", &e.Stats.CNPsSent)
+		r.Counter("ltl.cnps_recv", "frames", "ltl", "DCQCN congestion notifications received", &e.Stats.CNPsRecv)
+		r.Counter("ltl.messages_sent", "msgs", "ltl", "messages submitted to SendMessage", &e.Stats.MessagesSent)
+		r.Counter("ltl.messages_recv", "msgs", "ltl", "messages reassembled and delivered", &e.Stats.MessagesRecv)
+		r.Counter("ltl.conn_failures", "conns", "ltl", "connections declared failed (MaxRetries)", &e.Stats.ConnFailures)
+		r.Counter("ltl.throttle_stalls", "events", "ltl", "token-bucket bandwidth-limit stalls", &e.Stats.ThrottleStalls)
+		r.Counter("ltl.control_sent", "frames", "ltl", "control datagrams sent", &e.Stats.ControlSent)
+		r.Counter("ltl.control_recv", "frames", "ltl", "control datagrams received", &e.Stats.ControlRecv)
+		r.Histogram("ltl.message_rtt", "ns", "ltl", "SendMessage to final ACK", e.Stats.MessageRTT)
+		r.Histogram("ltl.delivery_latency", "ns", "ltl", "first frame rx to message delivery", e.Stats.DeliveryLatency)
+	}
 	return e
 }
 
@@ -267,6 +301,10 @@ func (e *Engine) OpenSend(localID uint16, remoteIP pkt.IP, remoteMAC pkt.MAC, re
 	}
 	if e.cfg.DCQCN {
 		sc.rp = dcqcn.NewReactionPoint(e.sim, e.dcqcnConfig())
+	}
+	if e.tracer != nil {
+		sc.flow = obs.LTLFlow(e.wire.LocalIP().U32(), remoteIP.U32(), localID, remoteConn)
+		sc.msgSpans = make(map[uint32]obs.SpanID)
 	}
 	e.send[localID] = sc
 	return nil
@@ -349,6 +387,11 @@ func (e *Engine) SendMessage(conn uint16, payload []byte, done func()) error {
 				sc.completions[fr.seq] = done
 			}
 			sc.sentMsgAt[fr.seq] = now
+			if e.tracer != nil {
+				id := e.tracer.Start(sc.flow, "ltl.msg", 0)
+				e.tracer.SetArg(id, int64(len(payload)))
+				sc.msgSpans[fr.seq] = id
+			}
 		}
 		sc.nextSeq++
 		sc.sendq = append(sc.sendq, fr)
@@ -448,6 +491,9 @@ func (e *Engine) transmit(sc *sendConn, fr *unackedFrame) {
 	buf := e.frame(sc.remoteIP, sc.remoteMAC, pkt.EncodeLTL(h, fr.payload))
 	e.Stats.FramesSent.Inc()
 	e.Stats.BytesSent.Add(uint64(len(buf)))
+	if e.tracer != nil {
+		e.tracer.Event(sc.flow, "ltl.tx", 0, int64(fr.seq))
+	}
 	e.scheduleOut(buf)
 	e.armRetransmit(sc)
 }
@@ -477,6 +523,9 @@ func (e *Engine) onTimeout(sc *sendConn) {
 		return
 	}
 	e.Stats.Timeouts.Inc()
+	if e.tracer != nil {
+		e.tracer.Event(sc.flow, "ltl.timeout", 0, int64(sc.retries+1))
+	}
 	sc.retries++
 	if sc.retries > e.cfg.MaxRetries {
 		sc.failed = true
@@ -500,6 +549,9 @@ func (e *Engine) retransmitFrame(sc *sendConn, fr *unackedFrame) {
 		Seq: fr.seq,
 	}
 	buf := e.frame(sc.remoteIP, sc.remoteMAC, pkt.EncodeLTL(h, fr.payload))
+	if e.tracer != nil {
+		e.tracer.Event(sc.flow, "ltl.rtx", 0, int64(fr.seq))
+	}
 	e.scheduleOut(buf)
 }
 
@@ -571,6 +623,11 @@ func (e *Engine) onData(f *pkt.Frame, h pkt.LTLHeader, payload []byte) {
 			rc.assembling = nil
 			e.Stats.MessagesRecv.Inc()
 			e.Stats.DeliveryLatency.Observe(int64(e.sim.Now() - rc.firstRxAt))
+			if e.tracer != nil {
+				// Same tuple the sender hashed, read off the frame.
+				flow := obs.LTLFlow(f.SrcIP.U32(), e.wire.LocalIP().U32(), h.SrcConn, rc.localID)
+				e.tracer.Range(flow, "ltl.deliver", 0, int64(rc.firstRxAt), int64(len(msg)))
+			}
 			if rc.onMessage != nil {
 				rc.onMessage(msg)
 			}
@@ -659,6 +716,12 @@ func (e *Engine) onAck(h pkt.LTLHeader) {
 		if at, ok := sc.sentMsgAt[fr.seq]; ok {
 			e.Stats.MessageRTT.Observe(int64(e.sim.Now() - at))
 			delete(sc.sentMsgAt, fr.seq)
+		}
+		if sc.msgSpans != nil {
+			if id, ok := sc.msgSpans[fr.seq]; ok {
+				delete(sc.msgSpans, fr.seq)
+				e.tracer.End(id)
+			}
 		}
 		if done, ok := sc.completions[fr.seq]; ok {
 			delete(sc.completions, fr.seq)

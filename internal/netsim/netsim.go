@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/pkt"
 	"repro/internal/sim"
 )
@@ -65,6 +66,17 @@ type Packet struct {
 
 	txPort   *Port            // transmitter serializing this packet
 	dispatch func(*pkt.Frame) // deferred host UDP delivery
+
+	// Flow tags the packet for the observability layer (internal/obs):
+	// senders that know the logical flow a frame belongs to stamp it here
+	// so every hop can attach spans without decoding anything. Zero means
+	// untraced — the universal case when tracing is off. FlowSeq carries
+	// the sender's frame sequence for span annotation, and hopSpan parks
+	// the in-flight hop span between transmit and propagationDone, riding
+	// the same flight-state mechanism as NextPort.
+	Flow    obs.FlowID
+	FlowSeq uint64
+	hopSpan obs.SpanID
 
 	frame pkt.Frame // storage F points at for pool-backed packets
 }
@@ -277,6 +289,10 @@ type Port struct {
 	busy        bool
 	retry       *sim.Event
 
+	// tracer is cached at construction (nil when observability is off),
+	// so the hot path pays one nil compare, never a lookup.
+	tracer *obs.Tracer
+
 	Stats PortStats
 }
 
@@ -300,10 +316,24 @@ func (p *Port) QueuedBytes(c pkt.TrafficClass) int { return p.queuedBytes[c] }
 
 // NewPort creates an unwired port owned by dev.
 func NewPort(s *sim.Simulation, dev Device, index int, cfg PortConfig) *Port {
-	return &Port{
+	p := &Port{
 		dev: dev, index: index, sim: s, rng: s.NewRand(), cfg: cfg,
-		Stats: PortStats{QueueDelay: metrics.NewHistogram()},
+		tracer: obs.TracerOf(s),
+		Stats:  PortStats{QueueDelay: metrics.NewHistogram()},
 	}
+	if r := obs.RegistryOf(s); r != nil {
+		r.Counter("net.tx_frames", "frames", "netsim", "frames serialized onto links", &p.Stats.TxFrames)
+		r.Counter("net.tx_bytes", "bytes", "netsim", "bytes serialized onto links", &p.Stats.TxBytes)
+		r.Counter("net.rx_frames", "frames", "netsim", "frames delivered to devices", &p.Stats.RxFrames)
+		r.Counter("net.drops_red", "frames", "netsim", "RED early drops", &p.Stats.DropsRED)
+		r.Counter("net.drops_tail", "frames", "netsim", "tail drops at full queues", &p.Stats.DropsTail)
+		r.Counter("net.ecn_marks", "frames", "netsim", "ECN CE marks applied", &p.Stats.ECNMarks)
+		r.Counter("net.pfc_sent", "frames", "netsim", "PFC pause frames sent", &p.Stats.PFCSent)
+		r.Counter("net.pfc_recv", "frames", "netsim", "PFC pause frames received", &p.Stats.PFCRecv)
+		r.Counter("net.drops_injected", "frames", "netsim", "fault-injected wire drops", &p.Stats.DropsInjected)
+		r.Histogram("net.queue_delay", "ns", "netsim", "egress queue wait per frame", p.Stats.QueueDelay)
+	}
+	return p
 }
 
 // Wire connects a and b as a full-duplex link. Both ports must be unwired.
@@ -450,6 +480,9 @@ func (p *Port) pick() (*Packet, bool) {
 		p.queuedBytes[c] -= size
 		p.Stats.QueueDepth.Add(-int64(size))
 		p.Stats.QueueDelay.Observe(int64(now - packet.EnqueuedAt))
+		if p.tracer != nil && packet.Flow != 0 && now > packet.EnqueuedAt {
+			p.tracer.Range(packet.Flow, "net.qwait", 0, int64(packet.EnqueuedAt), int64(p.index))
+		}
 		return packet, true
 	}
 	if earliest >= 0 {
@@ -475,6 +508,10 @@ func (p *Port) transmit(packet *Packet) {
 	p.Stats.TxBytes.Add(uint64(packet.WireLen()))
 	packet.txPort = p
 	packet.NextPort = p.peer
+	if p.tracer != nil && packet.Flow != 0 {
+		packet.hopSpan = p.tracer.Start(packet.Flow, "net.hop", 0)
+		p.tracer.SetArg(packet.hopSpan, int64(packet.FlowSeq))
+	}
 	p.sim.ScheduleCall(ser, serializationDone, packet)
 }
 
@@ -499,6 +536,10 @@ func propagationDone(v any) {
 	packet := v.(*Packet)
 	peer := packet.NextPort
 	peer.Stats.RxFrames.Inc()
+	if packet.hopSpan != 0 {
+		peer.tracer.End(packet.hopSpan)
+		packet.hopSpan = 0
+	}
 	peer.dev.HandleFrame(peer, packet)
 }
 

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// BenchmarkTracerDisabled measures the cost instrumented code pays when
+// observability is off: every site holds a nil *Tracer and calls it
+// unconditionally. This must stay at a few nanoseconds and zero
+// allocations (the companion TestDisabledTracerZeroAlloc asserts the
+// latter exactly).
+func BenchmarkTracerDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id := tr.Start(FlowID(i), "bench", 0)
+		tr.SetArg(id, 1)
+		tr.Event(FlowID(i), "bench.ev", id, 2)
+		tr.End(id)
+	}
+}
+
+// BenchmarkTracerStartEnd measures one enabled open/close span pair,
+// including the flow-hash computation a typical site performs.
+func BenchmarkTracerStartEnd(b *testing.B) {
+	s := sim.New(1)
+	tr := NewTracer(s)
+	tr.SetLimit(1 << 30)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := tr.Start(ReqFlow(uint64(i)), "bench", 0)
+		tr.End(id)
+	}
+}
+
+// BenchmarkRegistrySnapshot measures a snapshot over a registry shaped
+// like a real run's (a few dozen counters, a few histograms).
+func BenchmarkRegistrySnapshot(b *testing.B) {
+	reg := NewRegistry()
+	for i := 0; i < 40; i++ {
+		c := reg.Counter(fmt.Sprintf("bench.ctr%02d", i), "events", "bench", "", new(metrics.Counter))
+		c.Add(uint64(i))
+	}
+	for i := 0; i < 8; i++ {
+		h := reg.Histogram(fmt.Sprintf("bench.hist%d", i), "ns", "bench", "", metrics.NewHistogram())
+		for v := int64(1); v < 1<<20; v <<= 1 {
+			h.Observe(v)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(reg.Snapshot()) != 48 {
+			b.Fatal("bad snapshot")
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/host"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -81,11 +82,17 @@ func NewServer(s *sim.Simulation, cfg ServerConfig) *Server {
 	if cfg.Mode == RemoteFPGA && cfg.RemoteRTT == nil {
 		panic("ranking: RemoteRTT required in remote mode")
 	}
-	return &Server{
+	sv := &Server{
 		sim: s, cfg: cfg, cpu: host.NewCPU(s, cfg.Cores),
 		Latency:        metrics.NewHistogram(),
 		FeatureLatency: metrics.NewHistogram(),
 	}
+	reg := obs.RegistryOf(s)
+	reg.Histogram("ranking.latency", "ns", "ranking", "end-to-end query latency", sv.Latency)
+	reg.Histogram("ranking.feature_latency", "ns", "ranking", "feature-stage latency", sv.FeatureLatency)
+	reg.Counter("ranking.completed", "reqs", "ranking", "queries completed", &sv.Completed)
+	reg.Gauge("ranking.in_flight", "reqs", "ranking", "queries currently in flight", &sv.InFlight)
+	return sv
 }
 
 // CPU exposes the host queue (for utilization assertions).

@@ -23,6 +23,7 @@ import (
 	"repro/internal/ltl"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/pkt"
 	"repro/internal/sim"
 )
@@ -190,6 +191,9 @@ type Shell struct {
 	dramWaiters map[uint64]func([]byte)
 	nextReqID   uint64
 
+	// tracer is cached at construction; nil when observability is off.
+	tracer *obs.Tracer
+
 	Stats Stats
 }
 
@@ -208,6 +212,7 @@ func New(s *sim.Simulation, hostID int, portCfg netsim.PortConfig, cfg Config) *
 		remoteDone:   make(map[uint16][]func()),
 		pcieWaiters:  make(map[uint64]func([]byte)),
 		dramWaiters:  make(map[uint64]func([]byte)),
+		tracer:       obs.TracerOf(s),
 	}
 	sh.hostPort = netsim.NewPort(s, sh, 0, portCfg)
 	sh.netPort = netsim.NewPort(s, sh, 1, portCfg)
@@ -216,6 +221,21 @@ func New(s *sim.Simulation, hostID int, portCfg netsim.PortConfig, cfg Config) *
 	}
 
 	sh.Router = er.New(s, cfg.ER)
+	sh.Router.ObsID = hostID
+	if r := obs.RegistryOf(s); r != nil {
+		r.Counter("shell.bridged", "frames", "shell", "frames bridged NIC<->TOR", &sh.Stats.Bridged)
+		r.Counter("shell.tapped", "frames", "shell", "frames transformed by a tap", &sh.Stats.Tapped)
+		r.Counter("shell.consumed", "frames", "shell", "frames consumed by a tap", &sh.Stats.Consumed)
+		r.Counter("shell.ltl_consumed", "frames", "shell", "LTL frames terminated at the engine", &sh.Stats.LTLConsumed)
+		r.Counter("shell.dropped_down", "frames", "shell", "frames lost while the bridge was down", &sh.Stats.DroppedDown)
+		r.Counter("shell.seus", "events", "shell", "injected configuration upsets", &sh.Stats.SEUs)
+		r.Counter("shell.scrub_passes", "events", "shell", "configuration scrub passes", &sh.Stats.ScrubPasses)
+		r.Counter("shell.scrub_repairs", "events", "shell", "hung roles repaired by scrubbing", &sh.Stats.ScrubRepairs)
+		r.Counter("shell.role_hangs", "events", "shell", "role wedges from SEUs", &sh.Stats.RoleHangs)
+		r.Counter("shell.reconfigs", "events", "shell", "role reconfigurations", &sh.Stats.Reconfigs)
+		r.Counter("shell.pcie_reqs", "reqs", "shell", "host->role requests over PCIe DMA", &sh.Stats.PCIeReqs)
+		r.Counter("shell.remote_reqs", "reqs", "shell", "role->remote messages entering LTL", &sh.Stats.RemoteReqs)
+	}
 	buf := cfg.ER.BufFlits
 	sh.termPCIe = er.NewTerminal(s, sh.Router, er.PortPCIe, er.PortPCIe, buf)
 	sh.termRole = er.NewTerminal(s, sh.Router, er.PortRole, er.PortRole, buf)
@@ -272,6 +292,15 @@ func (sh *Shell) Output(buf []byte) {
 		return // flaky link ate the frame
 	}
 	packet := netsim.NewPacket(buf)
+	if sh.tracer != nil && packet.F.IsLTL() {
+		// Stamp the flow so every fabric hop can hang spans off the
+		// packet: the flow tuple is recomputed from header fields alone,
+		// matching what the LTL engines hash on both ends.
+		if h, _, err := pkt.DecodeLTL(packet.F.Payload); err == nil {
+			packet.Flow = obs.LTLFlow(packet.F.SrcIP.U32(), packet.F.DstIP.U32(), h.SrcConn, h.DstConn)
+			packet.FlowSeq = uint64(h.Seq)
+		}
+	}
 	packet.NextPort = sh.netPort
 	sh.sim.ScheduleCall(sh.cfg.BridgeLatency, netsim.EnqueueCall, packet)
 }

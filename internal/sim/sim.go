@@ -119,6 +119,12 @@ type Simulation struct {
 	trace     []TraceEntry
 	traceCap  int
 	traceHead int
+
+	// obsData is an opaque per-simulation observability context owned by
+	// internal/obs. The kernel neither reads nor writes it beyond these
+	// accessors, so sim stays dependency-free; components look it up once
+	// at construction, keeping the hot path free of any lookup cost.
+	obsData any
 }
 
 // New returns a simulation whose RNG is seeded with seed. The same seed
@@ -129,6 +135,13 @@ func New(seed int64) *Simulation {
 
 // Now returns the current virtual time.
 func (s *Simulation) Now() Time { return s.now }
+
+// SetObsData attaches an opaque observability context to the simulation.
+// Used by internal/obs; the kernel itself never inspects the value.
+func (s *Simulation) SetObsData(v any) { s.obsData = v }
+
+// ObsData returns the value set by SetObsData (nil if none).
+func (s *Simulation) ObsData() any { return s.obsData }
 
 // Seed returns the seed the simulation was created with.
 func (s *Simulation) Seed() int64 { return s.seed }

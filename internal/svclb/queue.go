@@ -2,6 +2,7 @@ package svclb
 
 import (
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -10,7 +11,9 @@ import (
 // but a request already in service runs to completion — silicon cannot be
 // preempted mid-evaluation, so a late cancel only saves the queue wait.
 type WorkQueue struct {
-	s *sim.Simulation
+	s      *sim.Simulation
+	tracer *obs.Tracer
+	host   int // owning backend host, labels service spans
 
 	waiting []*wqJob
 	cur     *wqJob
@@ -27,11 +30,17 @@ type wqJob struct {
 	id  uint64
 	dur sim.Time
 	run func()
+	enq sim.Time
 }
 
-// NewWorkQueue creates an idle queue on s.
-func NewWorkQueue(s *sim.Simulation) *WorkQueue {
-	return &WorkQueue{s: s}
+// NewWorkQueue creates an idle queue on s for backend host.
+func NewWorkQueue(s *sim.Simulation, host int) *WorkQueue {
+	q := &WorkQueue{s: s, tracer: obs.TracerOf(s), host: host}
+	reg := obs.RegistryOf(s)
+	reg.Counter("svclb.q_completed", "reqs", "svclb", "jobs serviced by pool work queues", &q.Completed)
+	reg.Counter("svclb.q_cancelled", "reqs", "svclb", "queued jobs pulled back by cancels", &q.Cancelled)
+	reg.Counter("svclb.q_cancel_misses", "reqs", "svclb", "cancels arriving after service began", &q.CancelMisses)
+	return q
 }
 
 // Depth reports queued plus in-service jobs — the number gossiped to the
@@ -46,7 +55,7 @@ func (q *WorkQueue) Depth() int {
 
 // Submit enqueues a job that runs for dur and then invokes run.
 func (q *WorkQueue) Submit(id uint64, dur sim.Time, run func()) {
-	j := &wqJob{id: id, dur: dur, run: run}
+	j := &wqJob{id: id, dur: dur, run: run, enq: q.s.Now()}
 	if q.cur != nil {
 		q.waiting = append(q.waiting, j)
 		return
@@ -56,9 +65,19 @@ func (q *WorkQueue) Submit(id uint64, dur sim.Time, run func()) {
 
 func (q *WorkQueue) start(j *wqJob) {
 	q.cur = j
+	var span obs.SpanID
+	if q.tracer != nil {
+		flow := obs.ReqFlow(j.id)
+		if now := q.s.Now(); now > j.enq {
+			q.tracer.Range(flow, "svclb.queue", 0, int64(j.enq), int64(len(q.waiting)))
+		}
+		span = q.tracer.Start(flow, "svclb.service", 0)
+		q.tracer.SetArg(span, int64(q.host))
+	}
 	q.s.Schedule(j.dur, func() {
 		q.cur = nil
 		q.Completed.Inc()
+		q.tracer.End(span)
 		j.run()
 		if len(q.waiting) > 0 {
 			next := q.waiting[0]

@@ -27,6 +27,7 @@ import (
 	"repro/internal/haas"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/pkt"
 	"repro/internal/shell"
 	"repro/internal/sim"
@@ -94,6 +95,16 @@ type Config struct {
 	// BackgroundLoad is the fraction of fabric capacity used by other
 	// tenants' lossless traffic.
 	BackgroundLoad float64
+
+	// Telemetry enables the observability layer (span tracing plus the
+	// metrics registry) for this run; the collected record is returned in
+	// Result.Telemetry. Off by default: the data plane then pays one nil
+	// pointer compare per instrumentation site.
+	Telemetry bool
+	// SpanLimit overrides the tracer's capture limit (0 keeps
+	// obs.DefaultSpanLimit). Raise it to trace rare events — a hedge win
+	// needs queue divergence, which the first few milliseconds rarely show.
+	SpanLimit int
 }
 
 // DefaultConfig returns a moderately oversubscribed pool (16 clients per
@@ -186,6 +197,10 @@ type Result struct {
 	// Recovery is the injector-observed kill->masked latency (0 when no
 	// kill was injected).
 	Recovery sim.Time
+
+	// Telemetry is the collected observability record (metrics snapshot
+	// plus captured spans); nil unless Config.Telemetry was set.
+	Telemetry *obs.Record
 }
 
 type reqCopy struct {
@@ -201,6 +216,9 @@ type pendingReq struct {
 	copies     []*reqCopy
 	hedgeEv    *sim.Event
 	failedOver bool
+
+	flow obs.FlowID // ReqFlow(id); 0 when tracing is disabled
+	span obs.SpanID // the svclb.request root span
 }
 
 type clientEnd struct {
@@ -238,20 +256,51 @@ type Balancer struct {
 	pcie     func(int) sim.Time
 
 	started bool // past initial lease setup: grows/shrinks are elastic events
+	tracer  *obs.Tracer
 
-	offered, admitted, shed, completed     uint64
-	wOffered, wAdmitted, wCompleted        uint64
-	hedged, hedgeWins, cancels, cancelHits uint64
-	failovers, resent, grown, shrunk       uint64
+	offered, admitted, shed, completed     metrics.Counter
+	wOffered, wAdmitted, wCompleted        metrics.Counter
+	hedged, hedgeWins, cancels, cancelHits metrics.Counter
+	failovers, resent, grown, shrunk       metrics.Counter
 
 	killAt        sim.Time
 	awaitRecovery bool
+}
+
+// registerMetrics publishes the balancer's counters into the run's
+// registry (no-op when observability is disabled). The window-scoped
+// w* counters stay unregistered: they are a measurement-window subset
+// of offered/admitted/completed, not independent series.
+func (b *Balancer) registerMetrics(reg *obs.Registry) {
+	const pkg = "svclb"
+	reg.Counter("svclb.offered", "reqs", pkg, "client requests arriving at the SM", &b.offered)
+	reg.Counter("svclb.admitted", "reqs", pkg, "requests passing admission control", &b.admitted)
+	reg.Counter("svclb.shed", "reqs", pkg, "requests rejected at arrival (no backend or deadline)", &b.shed)
+	reg.Counter("svclb.completed", "reqs", pkg, "responses delivered to clients", &b.completed)
+	reg.Counter("svclb.hedged", "reqs", pkg, "requests that grew a second (hedge) copy", &b.hedged)
+	reg.Counter("svclb.hedge_wins", "reqs", pkg, "requests whose hedge copy responded first", &b.hedgeWins)
+	reg.Counter("svclb.cancels", "msgs", pkg, "cancel datagrams sent to hedge losers", &b.cancels)
+	reg.Counter("svclb.cancel_hits", "msgs", pkg, "cancels that pulled the loser out of a queue", &b.cancelHits)
+	reg.Counter("svclb.failovers", "events", pkg, "backend deaths handled via HaaS replacement", &b.failovers)
+	reg.Counter("svclb.resent", "reqs", pkg, "requests re-dispatched after losing every copy", &b.resent)
+	reg.Counter("svclb.grown", "events", pkg, "elastic pool grow operations", &b.grown)
+	reg.Counter("svclb.shrunk", "events", pkg, "elastic pool shrink operations", &b.shrunk)
+	reg.Histogram("svclb.latency", "ns", pkg, "measurement-window request latency", b.measured)
+	reg.Windowed("svclb.latency_all", "ns", pkg, "every completion (the autoscale control signal)", b.winLat)
 }
 
 // Run executes one balancer measurement.
 func Run(cfg Config) Result {
 	cfg = cfg.withDefaults()
 	s := sim.New(cfg.Seed)
+	if cfg.Telemetry {
+		// Must precede component construction: shells, ports, and queues
+		// cache the tracer pointer when they are built.
+		c := obs.Enable(s)
+		if cfg.SpanLimit > 0 {
+			c.Tracer.SetLimit(cfg.SpanLimit)
+		}
+	}
 	dcCfg := netsim.DefaultConfig()
 	shells := map[int]*shell.Shell{}
 	dcCfg.Interposer = func(dc *netsim.Datacenter, hostID int) netsim.Interposer {
@@ -274,6 +323,7 @@ func Run(cfg Config) Result {
 		pending: map[uint64]*pendingReq{},
 		winLat:  metrics.NewWindowed(),
 	}
+	b.tracer = obs.TracerOf(s)
 	for i := 0; i < cfg.Clients; i++ {
 		dc.Host(i)
 		b.clients = append(b.clients, clientEnd{host: i, sh: shells[i]})
@@ -299,6 +349,7 @@ func Run(cfg Config) Result {
 		b.cfg.NetOverhead = b.pcie(cfg.ReqBytes) + b.pcie(cfg.RespBytes) + 20*sim.Microsecond
 	}
 	b.measured = metrics.NewHistogram()
+	b.registerMetrics(obs.RegistryOf(s))
 
 	rng := s.NewRand()
 	router, err := NewRouter(rng, cfg.Policy)
@@ -385,28 +436,39 @@ func Run(cfg Config) Result {
 		FPGAs:   cfg.FPGAs,
 		Ratio:   float64(cfg.Clients) / float64(cfg.FPGAs),
 
-		Offered: b.offered, Admitted: b.admitted,
-		Shed: b.shed, Completed: b.completed,
+		Offered: b.offered.Value(), Admitted: b.admitted.Value(),
+		Shed: b.shed.Value(), Completed: b.completed.Value(),
 
 		Avg: sim.Time(int64(b.measured.Mean())),
 		P50: sim.Time(b.measured.Percentile(50)),
 		P95: sim.Time(b.measured.Percentile(95)),
 		P99: sim.Time(b.measured.Percentile(99)),
 
-		Hedged: b.hedged, HedgeWins: b.hedgeWins,
-		Cancels: b.cancels, CancelHits: b.cancelHits,
-		Failovers: b.failovers, Resent: b.resent,
-		Grown: b.grown, Shrunk: b.shrunk,
+		Hedged: b.hedged.Value(), HedgeWins: b.hedgeWins.Value(),
+		Cancels: b.cancels.Value(), CancelHits: b.cancelHits.Value(),
+		Failovers: b.failovers.Value(), Resent: b.resent.Value(),
+		Grown: b.grown.Value(), Shrunk: b.shrunk.Value(),
 
 		FinalBackends: len(b.router.Live()),
 		RouteHash:     b.router.RouteHash(),
 	}
-	if b.wOffered > 0 {
-		res.AdmitRate = float64(b.wAdmitted) / float64(b.wOffered)
-		res.Goodput = float64(b.wCompleted) / float64(b.wOffered)
+	if b.wOffered.Value() > 0 {
+		res.AdmitRate = float64(b.wAdmitted.Value()) / float64(b.wOffered.Value())
+		res.Goodput = float64(b.wCompleted.Value()) / float64(b.wOffered.Value())
 	}
 	if h := b.in.Stats.Recovery[faultinject.NodeKill]; h.Count() > 0 {
 		res.Recovery = sim.Time(h.Percentile(99))
+	}
+	if c := obs.Of(s); c != nil {
+		label := cfg.Policy
+		if cfg.Admission {
+			label += "+ac"
+		}
+		if cfg.HedgeDelay > 0 {
+			label += "+hedge"
+		}
+		point := fmt.Sprintf("%s c=%d f=%d", label, cfg.Clients, cfg.FPGAs)
+		res.Telemetry = obs.Collect(c, "svclb", point)
 	}
 	return res
 }
@@ -415,29 +477,36 @@ func Run(cfg Config) Result {
 func (b *Balancer) arrive(ci int) {
 	now := b.s.Now()
 	inWindow := now >= b.cfg.Warmup && now < b.cfg.Warmup+b.cfg.Duration
-	b.offered++
+	b.offered.Inc()
 	if inWindow {
-		b.wOffered++
+		b.wOffered.Inc()
 	}
 	sl, ok := b.router.Pick()
 	if !ok {
-		b.shed++
+		b.shed.Inc()
+		b.tracer.Event(0, "svclb.shed", 0, int64(ci))
 		return
 	}
 	if b.cfg.Admission {
 		est := sim.Time(estDepth(sl))*b.cfg.ServiceTime + b.cfg.NetOverhead
 		if est > b.cfg.Deadline {
 			b.router.Done(sl)
-			b.shed++
+			b.shed.Inc()
+			b.tracer.Event(0, "svclb.shed", 0, int64(ci))
 			return
 		}
 	}
-	b.admitted++
+	b.admitted.Inc()
 	if inWindow {
-		b.wAdmitted++
+		b.wAdmitted.Inc()
 	}
 	b.nextReq++
 	p := &pendingReq{id: b.nextReq, client: ci, t0: now}
+	if b.tracer != nil {
+		p.flow = obs.ReqFlow(p.id)
+		p.span = b.tracer.Start(p.flow, "svclb.request", 0)
+		b.tracer.SetArg(p.span, int64(ci))
+	}
 	b.pending[p.id] = p
 	b.sendCopy(p, sl, false)
 	if b.cfg.HedgeDelay > 0 {
@@ -449,6 +518,13 @@ func (b *Balancer) arrive(ci int) {
 func (b *Balancer) sendCopy(p *pendingReq, sl *Slot, hedge bool) {
 	c := &reqCopy{slot: sl, hedge: hedge}
 	p.copies = append(p.copies, c)
+	if b.tracer != nil {
+		name := "svclb.copy"
+		if hedge {
+			name = "svclb.hedge_copy"
+		}
+		b.tracer.Event(p.flow, name, p.span, int64(sl.Host))
+	}
 	req := make([]byte, b.cfg.ReqBytes)
 	binary.BigEndian.PutUint64(req, p.id)
 	cs := b.clients[p.client].sh
@@ -484,7 +560,7 @@ func (b *Balancer) hedge(p *pendingReq) {
 	if !ok {
 		return
 	}
-	b.hedged++
+	b.hedged.Inc()
 	b.sendCopy(p, sl, true)
 }
 
@@ -513,7 +589,8 @@ func (b *Balancer) onResponse(ci int, sl *Slot, reqID uint64) {
 		c.gone = true
 		if c.slot.live {
 			b.router.Done(c.slot)
-			b.cancels++
+			b.cancels.Inc()
+			b.tracer.Event(p.flow, "svclb.cancel", p.span, int64(c.slot.Host))
 			var idb [8]byte
 			binary.BigEndian.PutUint64(idb[:], reqID)
 			must(b.clients[ci].sh.SendControl(c.slot.Host, ctrlCancel, idb[:]))
@@ -522,16 +599,18 @@ func (b *Balancer) onResponse(ci int, sl *Slot, reqID uint64) {
 	if winnerIdx >= 0 {
 		b.router.Done(sl)
 		if p.copies[winnerIdx].hedge {
-			b.hedgeWins++
+			b.hedgeWins.Inc()
+			b.tracer.Event(p.flow, "svclb.hedge_win", p.span, int64(sl.Host))
 		}
 	}
 	b.s.Schedule(b.pcie(b.cfg.RespBytes), func() {
 		now := b.s.Now()
 		lat := int64(now - p.t0)
-		b.completed++
+		b.completed.Inc()
+		b.tracer.End(p.span)
 		b.winLat.Observe(lat)
 		if p.t0 >= b.cfg.Warmup && p.t0 < b.cfg.Warmup+b.cfg.Duration {
-			b.wCompleted++
+			b.wCompleted.Inc()
 			b.measured.Observe(lat)
 		}
 		if p.failedOver && b.awaitRecovery {
@@ -557,7 +636,7 @@ func (b *Balancer) grow() error {
 		b.addBackend(int(n), lid)
 	}
 	if b.started {
-		b.grown++
+		b.grown.Inc()
 	}
 	return nil
 }
@@ -585,7 +664,7 @@ func (b *Balancer) shrink() {
 	// In-flight work on the drained backend still completes: the lease is
 	// returned but the connections stay up until the host is re-wired.
 	b.rm.Release(lid)
-	b.shrunk++
+	b.shrunk.Inc()
 }
 
 // addBackend wires host h (lease lid) into the data plane and the routing
@@ -595,7 +674,7 @@ func (b *Balancer) addBackend(h, lid int) {
 		tear() // host reused after a drain: drop the stale wiring epoch
 	}
 	b.leaseOf[h] = lid
-	q := NewWorkQueue(b.s)
+	q := NewWorkQueue(b.s, h)
 	b.queues[h] = q
 	fs := b.shells[h]
 	sl := b.router.AddSlot(h)
@@ -603,7 +682,7 @@ func (b *Balancer) addBackend(h, lid int) {
 	must(fs.SetControlHandler(func(_ int, kind uint8, payload []byte) {
 		if kind == ctrlCancel && len(payload) >= 8 {
 			if q.Cancel(binary.BigEndian.Uint64(payload)) {
-				b.cancelHits++
+				b.cancelHits.Inc()
 			}
 		}
 	}))
@@ -645,7 +724,7 @@ func (b *Balancer) addBackend(h, lid int) {
 // onNodeFailure is the lease-failure callback: replace the dead node via
 // HaaS, then re-route every pending copy that was lost with it.
 func (b *Balancer) onNodeFailure(lid int, dead haas.NodeID) {
-	b.failovers++
+	b.failovers.Inc()
 	h := int(dead)
 	if sl := b.router.SlotOnHost(h); sl != nil {
 		b.router.RemoveSlot(sl)
@@ -701,7 +780,8 @@ func (b *Balancer) reroute(p *pendingReq) {
 		return
 	}
 	p.failedOver = true
-	b.resent++
+	b.resent.Inc()
+	b.tracer.Event(p.flow, "svclb.reroute", p.span, int64(sl.Host))
 	b.sendCopy(p, sl, false)
 }
 

@@ -19,7 +19,7 @@ func quickConfig() Config {
 
 func TestWorkQueueCancel(t *testing.T) {
 	s := sim.New(1)
-	q := NewWorkQueue(s)
+	q := NewWorkQueue(s, 0)
 	done := map[uint64]bool{}
 	for id := uint64(1); id <= 3; id++ {
 		id := id

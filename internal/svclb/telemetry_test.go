@@ -1,0 +1,135 @@
+package svclb
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// telemetryConfig is a short traced run sized so a remote request's full
+// path — PCIe, LTL, fabric hops, the backend's ER-switched shell, and
+// the service queue — lands inside the span capture window.
+func telemetryConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Clients = 8
+	cfg.Warmup = 5 * sim.Millisecond
+	cfg.Duration = 20 * sim.Millisecond
+	cfg.Drain = 20 * sim.Millisecond
+	cfg.Telemetry = true
+	return cfg
+}
+
+// TestTelemetrySpanCoverage checks the tentpole acceptance criterion: a
+// traced svclb run emits spans from every layer a remote request crosses
+// (service, LTL, ER, network) plus the HaaS lease that provisioned the
+// backend, and at least one svclb.request span closed (a complete
+// round trip NIC -> TOR -> remote FPGA -> back).
+func TestTelemetrySpanCoverage(t *testing.T) {
+	r := Run(telemetryConfig())
+	rec := r.Telemetry
+	if rec == nil {
+		t.Fatal("Telemetry=true run returned no record")
+	}
+	byName := map[string]int{}
+	completedReq := false
+	for _, sp := range rec.Spans {
+		byName[sp.Name]++
+		if sp.Name == "svclb.request" && sp.End >= 0 {
+			completedReq = true
+		}
+	}
+	for _, want := range []string{
+		"svclb.request", "svclb.copy", "svclb.queue", "svclb.service",
+		"ltl.msg", "ltl.tx", "ltl.deliver",
+		"er.msg",
+		"net.hop",
+		"haas.lease",
+	} {
+		if byName[want] == 0 {
+			t.Errorf("no %s spans captured (have %v)", want, byName)
+		}
+	}
+	if !completedReq {
+		t.Error("no completed svclb.request span (no full round trip traced)")
+	}
+	if len(rec.Metrics) == 0 {
+		t.Fatal("no metrics in record")
+	}
+	names := map[string]bool{}
+	for _, m := range rec.Metrics {
+		names[m.Name] = true
+	}
+	for _, want := range []string{
+		"svclb.offered", "svclb.completed", "ltl.frames_sent",
+		"er.flits_switched", "haas.granted", "net.tx_frames",
+		"shell.remote_reqs",
+	} {
+		if !names[want] {
+			t.Errorf("metric %s not in snapshot", want)
+		}
+	}
+}
+
+// TestTelemetryRequestCorrelation verifies flow stitching: the reqID that
+// rides the first 8 payload bytes yields the same ReqFlow at the balancer
+// (svclb.request) and inside the backend's work queue (svclb.service), so
+// a flow's waterfall shows both ends without any side channel.
+func TestTelemetryRequestCorrelation(t *testing.T) {
+	r := Run(telemetryConfig())
+	kinds := map[obs.FlowID]map[string]bool{}
+	for _, sp := range r.Telemetry.Spans {
+		if kinds[sp.Flow] == nil {
+			kinds[sp.Flow] = map[string]bool{}
+		}
+		kinds[sp.Flow][sp.Name] = true
+	}
+	stitched := 0
+	for _, names := range kinds {
+		if names["svclb.request"] && names["svclb.service"] {
+			stitched++
+		}
+	}
+	if stitched == 0 {
+		t.Fatal("no flow carries both svclb.request and svclb.service spans")
+	}
+}
+
+// TestTelemetryDeterminism runs the same seed twice and requires the
+// encoded telemetry to be byte-identical: tracing rides the simulation's
+// virtual clock and deterministic event order, so it inherits the repo's
+// replay guarantee.
+func TestTelemetryDeterminism(t *testing.T) {
+	encode := func() []byte {
+		r := Run(telemetryConfig())
+		var buf bytes.Buffer
+		if err := r.Telemetry.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := encode(), encode()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same-seed telemetry differs: %d vs %d bytes", len(a), len(b))
+	}
+}
+
+// TestTelemetryOffMatchesOn pins the zero-interference property: enabling
+// telemetry must not change the simulation itself. RouteHash digests every
+// routing decision, so equality means identical event-by-event execution.
+func TestTelemetryOffMatchesOn(t *testing.T) {
+	on := telemetryConfig()
+	off := on
+	off.Telemetry = false
+	ron, roff := Run(on), Run(off)
+	if ron.RouteHash != roff.RouteHash {
+		t.Fatalf("telemetry changed routing: %x vs %x", ron.RouteHash, roff.RouteHash)
+	}
+	if ron.Completed != roff.Completed || ron.P99 != roff.P99 {
+		t.Fatalf("telemetry changed results: %+v vs %+v", ron, roff)
+	}
+	if roff.Telemetry != nil {
+		t.Fatal("Telemetry=false run returned a record")
+	}
+}

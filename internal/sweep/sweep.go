@@ -12,6 +12,11 @@
 // loop `for i := range out { out[i] = fn(i) }` would return, regardless
 // of worker count or scheduling. Tests assert this by comparing runs
 // under SetSequential(true) and (false).
+//
+// The package maps to the paper's evaluation methodology (§VI) rather
+// than a hardware mechanism: each figure is a sweep over load, policy,
+// or fault profile, and this harness regenerates them at paper-like
+// sizing in minutes instead of hours without perturbing any result.
 package sweep
 
 import (
