@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench experiments examples fuzz docs telemetry clean
+.PHONY: all build vet test test-short race bench bench-json bench-check experiments examples fuzz docs telemetry clean
 
 all: build vet test docs
 
@@ -24,7 +24,17 @@ race:
 	$(GO) test -race ./...
 
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run '^$$' -bench=. -benchmem ./...
+
+# Hot-path benchmark packages: the sim kernel, the shard coordinator,
+# and the fabric. BENCH_5.json is the committed baseline the CI perf
+# guard compares fresh runs against (ccbench, ±15%).
+BENCH_PKGS = ./internal/sim/... ./internal/netsim/
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=200ms $(BENCH_PKGS) | $(GO) run ./cmd/ccbench -o BENCH_5.json
+
+bench-check:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=200ms $(BENCH_PKGS) | $(GO) run ./cmd/ccbench -check BENCH_5.json -tol 0.15
 
 # Regenerate every paper table/figure at paper-like sizing.
 experiments:

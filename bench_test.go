@@ -520,3 +520,33 @@ func BenchmarkLTLEngineThroughput(b *testing.B) {
 	}
 	cloud.Run(100 * Millisecond)
 }
+
+// ---- Sharded kernel (E16) ----
+
+// BenchmarkShardedVsSequential runs the same pod-sharded ping workload
+// with one worker and with all cores, reports the wall-clock speedup,
+// and fails if the two runs' digests diverge — CI's cheap probe that
+// parallelism stays a pure performance change.
+func BenchmarkShardedVsSequential(b *testing.B) {
+	cfg := DefaultScaleConfig(8)
+	cfg.HostsPerTOR = 8
+	cfg.TORsPerPod = 4
+	cfg.PingsPerPair = 60
+	cfg.MeanGap = 20 * Microsecond
+	cfg.Duration = 5 * Millisecond
+	cfg.BackgroundUtil = 0.02
+	cfg.Workers = 1
+	seq := RunScalePoint(cfg)
+	cfg.Workers = scaleWorkers() // one per core (min 2: keep the parallel path hot)
+	b.ResetTimer()
+	var par ScaleResult
+	for i := 0; i < b.N; i++ {
+		par = RunScalePoint(cfg)
+	}
+	b.StopTimer()
+	if par.Digest != seq.Digest {
+		b.Fatalf("parallel digest %016x != sequential %016x", par.Digest, seq.Digest)
+	}
+	b.ReportMetric(float64(seq.Elapsed)/float64(par.Elapsed), "speedup")
+	b.ReportMetric(float64(par.Workers), "workers")
+}

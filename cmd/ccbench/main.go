@@ -1,0 +1,167 @@
+// Command ccbench turns `go test -bench` output into a stable JSON
+// baseline and checks fresh runs against a committed one — the perf-
+// regression guard for the simulator's hot paths.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./internal/sim/... | ccbench -o BENCH_5.json
+//	go test -run '^$' -bench . -benchmem ./internal/sim/... | ccbench -check BENCH_5.json -tol 0.15
+//
+// Benchmark lines are keyed by name with the trailing -GOMAXPROCS
+// suffix stripped, so baselines compare across machines with different
+// core counts. Check mode fails (exit 1) when a baseline benchmark is
+// missing from the fresh run or regresses beyond the tolerance in
+// ns/op or allocs/op; improvements and new benchmarks only get notes.
+// Wall-clock tolerance is deliberately loose (default ±15%): the guard
+// is for order-of-magnitude accidents — an O(n) scan slipping into a
+// hot loop — not for micro-variance between runs.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's recorded costs.
+type Entry struct {
+	NsOp     float64 `json:"ns_op"`
+	AllocsOp float64 `json:"allocs_op"`
+}
+
+func main() {
+	out := flag.String("o", "", "write the parsed baseline JSON to this file (default stdout)")
+	check := flag.String("check", "", "compare stdin against this baseline instead of writing one")
+	tol := flag.Float64("tol", 0.15, "allowed fractional regression in check mode")
+	flag.Parse()
+
+	fresh, err := parse(os.Stdin)
+	if err != nil {
+		fail("%v", err)
+	}
+	if len(fresh) == 0 {
+		fail("no benchmark lines on stdin (pipe `go test -run '^$' -bench . -benchmem` output in)")
+	}
+
+	if *check != "" {
+		raw, err := os.ReadFile(*check)
+		if err != nil {
+			fail("%v", err)
+		}
+		base := map[string]Entry{}
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fail("parsing %s: %v", *check, err)
+		}
+		if !compare(base, fresh, *tol) {
+			os.Exit(1)
+		}
+		fmt.Printf("ccbench: %d benchmarks within %.0f%% of %s\n", len(base), *tol*100, *check)
+		return
+	}
+
+	enc, err := json.MarshalIndent(fresh, "", "  ")
+	if err != nil {
+		fail("%v", err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fail("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "ccbench: wrote %d benchmarks to %s\n", len(fresh), *out)
+}
+
+// parse extracts benchmark results from `go test -bench` output. A
+// result line is "BenchmarkName-N  <iters>  <value> <unit> ..."; only
+// ns/op and allocs/op are recorded.
+func parse(f *os.File) (map[string]Entry, error) {
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	res := map[string]Entry{}
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		e := res[name]
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				e.NsOp = v
+			case "allocs/op":
+				e.AllocsOp = v
+			}
+		}
+		res[name] = e
+	}
+	return res, sc.Err()
+}
+
+// compare reports whether every baseline benchmark is present in fresh
+// and within tolerance, printing one line per finding.
+func compare(base, fresh map[string]Entry, tol float64) bool {
+	names := make([]string, 0, len(base))
+	for n := range base {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	ok := true
+	for _, n := range names {
+		b, f := base[n], fresh[n]
+		if _, found := fresh[n]; !found {
+			fmt.Printf("FAIL %s: in baseline but not in this run\n", n)
+			ok = false
+			continue
+		}
+		if bad := exceeds(b.NsOp, f.NsOp, tol); bad != "" {
+			fmt.Printf("FAIL %s: ns/op %s\n", n, bad)
+			ok = false
+		}
+		if bad := exceeds(b.AllocsOp, f.AllocsOp, tol); bad != "" {
+			fmt.Printf("FAIL %s: allocs/op %s\n", n, bad)
+			ok = false
+		}
+		if f.NsOp < b.NsOp*(1-tol) {
+			fmt.Printf("note %s: improved %.0f -> %.0f ns/op (rebase with `make bench-json`?)\n",
+				n, b.NsOp, f.NsOp)
+		}
+	}
+	for n := range fresh {
+		if _, found := base[n]; !found {
+			fmt.Printf("note %s: not in baseline (add with `make bench-json`)\n", n)
+		}
+	}
+	return ok
+}
+
+// exceeds describes a regression of got beyond want*(1+tol), or "".
+func exceeds(want, got, tol float64) string {
+	if got <= want*(1+tol) {
+		return ""
+	}
+	return fmt.Sprintf("%.1f exceeds baseline %.1f by %.0f%% (tolerance %.0f%%)",
+		got, want, (got/want-1)*100, tol*100)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ccbench: "+format+"\n", args...)
+	os.Exit(1)
+}

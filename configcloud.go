@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/faultinject"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/shell"
 	"repro/internal/sim"
 	"repro/internal/svclb"
@@ -73,6 +74,9 @@ type Options struct {
 	// Empty means the process default set via SetDefaultFaultProfile (and
 	// failing that, no faults). Unknown names panic at New.
 	FaultProfile string
+	// Telemetry enables observability (metrics registry + span tracers)
+	// on the cloud's simulation(s) before any component is constructed.
+	Telemetry bool
 }
 
 // defaultFaultProfile is the process-wide profile applied when
@@ -116,6 +120,26 @@ func SetDefaultLB(name string) error {
 // LBPolicyNames lists the built-in svclb routing policies.
 func LBPolicyNames() []string { return svclb.PolicyNames() }
 
+// defaultShards is the process-wide worker count for sharded
+// (conservative-parallel) runs — how cmd/ccexperiment's -shards flag
+// reaches the scale experiment without threading an option through.
+// Zero means "pick automatically" (one worker per core, capped at the
+// shard count).
+var defaultShards int
+
+// SetShards sets (or, with 0, clears) the process-default worker count
+// for sharded runs. Negative counts error.
+func SetShards(n int) error {
+	if n < 0 {
+		return fmt.Errorf("configcloud: shard worker count %d < 0", n)
+	}
+	defaultShards = n
+	return nil
+}
+
+// Shards returns the process-default sharded worker count (0 = auto).
+func Shards() int { return defaultShards }
+
 // Node pairs a server with its FPGA shell.
 type Node struct {
 	ID    int
@@ -141,6 +165,9 @@ type Cloud struct {
 // used.
 func New(opts Options) *Cloud {
 	s := sim.New(opts.Seed)
+	if opts.Telemetry {
+		obs.Enable(s)
+	}
 	topo := opts.Topology
 	if topo.HostsPerTOR == 0 {
 		topo = netsim.DefaultConfig()
@@ -164,7 +191,9 @@ func New(opts Options) *Cloud {
 	}
 	if !opts.NoFPGAs {
 		topo.Interposer = func(dc *netsim.Datacenter, hostID int) netsim.Interposer {
-			sh := shell.New(dc.Sim, hostID, netsim.DefaultPortConfig(), shCfg)
+			// SimForHost keeps the shell on its pod's wheel in sharded
+			// datacenters; on a single wheel it is just dc.Sim.
+			sh := shell.New(dc.SimForHost(hostID), hostID, netsim.DefaultPortConfig(), shCfg)
 			c.shells[hostID] = sh
 			return sh
 		}

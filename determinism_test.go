@@ -2,9 +2,11 @@ package configcloud
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/ranking"
 	"repro/internal/svclb"
 	"repro/internal/sweep"
@@ -141,6 +143,55 @@ func TestParallelSweepMatchesSequential(t *testing.T) {
 	seq := render()
 	if par != seq {
 		t.Errorf("parallel sweep output diverges from sequential:\n--- parallel ---\n%s\n--- sequential ---\n%s", par, seq)
+	}
+}
+
+// The sharded kernel's headline guarantee (ROADMAP: conservative-
+// lookahead PDES): the worker count changes only the wall clock. A
+// parallel run must match the single-worker run of the same partition
+// bit for bit — same behaviour digest (per-pair ping counts and RTTs,
+// event and crossing totals) and byte-identical telemetry JSONL.
+func TestShardedScaleDeterminism(t *testing.T) {
+	run := func(workers int) (ScaleResult, string) {
+		cfg := DefaultScaleConfig(3)
+		cfg.HostsPerTOR = 6
+		cfg.TORsPerPod = 4
+		cfg.PingsPerPair = 25
+		cfg.MeanGap = 20 * Microsecond
+		cfg.Duration = 3 * Millisecond
+		cfg.BackgroundUtil = 0.01
+		cfg.Workers = workers
+		cfg.Telemetry = true
+		cfg.SpanLimit = 3000
+		res := RunScalePoint(cfg)
+		var b strings.Builder
+		if err := obs.EncodeAll(&b, []*obs.Record{res.Record}); err != nil {
+			t.Fatal(err)
+		}
+		return res, b.String()
+	}
+	seq, seqTel := run(1)
+	par, parTel := run(4)
+	// Guard against a vacuous pass before comparing anything.
+	if seq.Pings == 0 {
+		t.Fatal("workload completed no pings")
+	}
+	if seq.Crossings == 0 {
+		t.Fatal("workload never crossed a shard boundary")
+	}
+	if len(seqTel) < 1000 {
+		t.Fatalf("telemetry suspiciously small (%d bytes)", len(seqTel))
+	}
+	if par.Workers < 2 {
+		t.Fatalf("parallel run used %d workers", par.Workers)
+	}
+	if seq.Digest != par.Digest {
+		t.Errorf("digest diverged: sequential %016x, parallel %016x (pings %d vs %d, events %d vs %d)",
+			seq.Digest, par.Digest, seq.Pings, par.Pings, seq.Events, par.Events)
+	}
+	if seqTel != parTel {
+		t.Errorf("telemetry JSONL diverged between worker counts (%d vs %d bytes)",
+			len(seqTel), len(parTel))
 	}
 }
 

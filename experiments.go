@@ -34,7 +34,7 @@ type Table = metrics.Table
 var ExperimentIDs = []string{
 	"fig5", "power", "reliability", "fig6", "fig7", "fig8", "crypto",
 	"fig10", "fig11", "fig12", "haas", "ltlloss", "faults", "svclb",
-	"ext-bioinfo", "ext-compression",
+	"scale", "ext-bioinfo", "ext-compression",
 }
 
 // Telemetry collection: when enabled (cmd/ccexperiment -telemetry),
@@ -149,6 +149,8 @@ func RunExperiment(id string, scale Scale) ([]*Table, error) {
 		return ExpFaults(scale), nil
 	case "svclb":
 		return []*Table{ExpSvcLB(scale)}, nil
+	case "scale":
+		return []*Table{ExpScale(scale)}, nil
 	case "ext-bioinfo":
 		return []*Table{ExpBioinfo()}, nil
 	case "ext-compression":

@@ -21,6 +21,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pkt"
 	"repro/internal/sim"
+	"repro/internal/sim/shard"
 )
 
 // Device is anything attached to the fabric by one or more ports.
@@ -293,6 +294,14 @@ type Port struct {
 	// so the hot path pays one nil compare, never a lookup.
 	tracer *obs.Tracer
 
+	// xout, when non-nil, marks the peer as living on another shard of a
+	// sharded datacenter: the propagation leg travels through this
+	// outbox instead of the local wheel. Cross-shard links must never be
+	// Unwired while a group is running — the conservative windows rely
+	// on their latency, and serializationDone reads peer.peer from the
+	// transmitting shard.
+	xout *shard.Outbox
+
 	Stats PortStats
 }
 
@@ -561,7 +570,7 @@ func (p *Port) deliver(peer *Port, packet *Packet) {
 				extra = prop
 			}
 			dup.NextPort = peer
-			p.sim.ScheduleCall(prop+extra, propagationDone, dup)
+			p.propagate(prop+extra, dup)
 		case FaultCorrupt:
 			p.Stats.CorruptInjected.Inc()
 			buf := append([]byte(nil), packet.Buf...)
@@ -587,6 +596,25 @@ func (p *Port) deliver(peer *Port, packet *Packet) {
 		}
 	}
 	packet.NextPort = peer
+	p.propagate(prop, packet)
+}
+
+// propagate schedules the frame's propagation leg: on the local wheel
+// for an ordinary link, or through the cross-shard outbox when the peer
+// lives on another shard. In the cross case the in-flight hop span is
+// closed here on the transmitting shard's tracer — at the precomputed
+// arrival time, so the recorded interval matches local delivery — since
+// propagationDone will run on the receiving shard, whose tracer the
+// span does not belong to.
+func (p *Port) propagate(prop sim.Time, packet *Packet) {
+	if p.xout != nil {
+		if packet.hopSpan != 0 {
+			p.tracer.EndAt(packet.hopSpan, int64(p.sim.Now()+prop))
+			packet.hopSpan = 0
+		}
+		p.xout.Send(prop, propagationDone, packet)
+		return
+	}
 	p.sim.ScheduleCall(prop, propagationDone, packet)
 }
 

@@ -26,6 +26,86 @@ func TestLocateRoundTrip(t *testing.T) {
 	}
 }
 
+// TestAddressingBoundaries pins the addressing arithmetic at the exact
+// edges where off-by-one errors live, at the paper's full scale: the
+// first and last host of a TOR, of a pod, and of the datacenter.
+func TestAddressingBoundaries(t *testing.T) {
+	s := sim.New(1)
+	dc := NewDatacenter(s, DefaultConfig())
+	cfg := dc.Config()
+	perTOR := cfg.HostsPerTOR
+	perPod := perTOR * cfg.TORsPerPod
+	lastPod, lastTOR, lastIdx := cfg.Pods-1, cfg.TORsPerPod-1, perTOR-1
+
+	cases := []struct {
+		id            string
+		host          int
+		pod, tor, idx int
+	}{
+		{"first host", 0, 0, 0, 0},
+		{"last host of first TOR", perTOR - 1, 0, 0, lastIdx},
+		{"first host of second TOR", perTOR, 0, 1, 0},
+		{"last host of first pod", perPod - 1, 0, lastTOR, lastIdx},
+		{"first host of second pod", perPod, 1, 0, 0},
+		{"last host of datacenter", dc.NumHosts() - 1, lastPod, lastTOR, lastIdx},
+	}
+	for _, c := range cases {
+		pod, tor, idx := dc.Locate(c.host)
+		if pod != c.pod || tor != c.tor || idx != c.idx {
+			t.Errorf("%s: Locate(%d) = (%d,%d,%d), want (%d,%d,%d)",
+				c.id, c.host, pod, tor, idx, c.pod, c.tor, c.idx)
+		}
+		if got := dc.HostIDOf(c.pod, c.tor, c.idx); got != c.host {
+			t.Errorf("%s: HostIDOf(%d,%d,%d) = %d, want %d",
+				c.id, c.pod, c.tor, c.idx, got, c.host)
+		}
+		// The IP mapping must round-trip at the same boundaries.
+		if got, ok := HostID(HostIP(c.host)); !ok || got != c.host {
+			t.Errorf("%s: HostID(HostIP(%d)) = %d,%v", c.id, c.host, got, ok)
+		}
+	}
+}
+
+// TestTierBoundariesOfAPod classifies the first and last hosts of a pod
+// against their nearest neighbors on each side of every boundary.
+func TestTierBoundariesOfAPod(t *testing.T) {
+	s := sim.New(1)
+	dc := NewDatacenter(s, DefaultConfig())
+	cfg := dc.Config()
+	perTOR := cfg.HostsPerTOR
+	perPod := perTOR * cfg.TORsPerPod
+	// Pod 1 spans [perPod, 2*perPod).
+	first, last := perPod, 2*perPod-1
+	cases := []struct {
+		id         string
+		a, b, tier int
+	}{
+		{"pod-first vs its TOR-mate", first, first + perTOR - 1, 0},
+		{"pod-first vs pod's second TOR", first, first + perTOR, 1},
+		{"pod-first vs pod-last", first, last, 1},
+		{"pod-first vs previous pod's last", first, first - 1, 2},
+		{"pod-last vs next pod's first", last, last + 1, 2},
+		{"pod-last vs its TOR's first", last, last - perTOR + 1, 0},
+		{"host vs itself", first, first, 0},
+	}
+	for _, c := range cases {
+		if got := dc.Tier(c.a, c.b); got != c.tier {
+			t.Errorf("%s: Tier(%d,%d) = %d, want %d", c.id, c.a, c.b, got, c.tier)
+		}
+	}
+	// ReachableAtTier must agree with the geometry the cases above pin:
+	// a TOR's span, a pod's span, the whole datacenter.
+	if got := dc.ReachableAtTier(0); got != perTOR {
+		t.Errorf("ReachableAtTier(0) = %d, want %d", got, perTOR)
+	}
+	if got := dc.ReachableAtTier(1); got != perPod {
+		t.Errorf("ReachableAtTier(1) = %d, want %d", got, perPod)
+	}
+	if got := dc.ReachableAtTier(2); got != dc.NumHosts() {
+		t.Errorf("ReachableAtTier(2) = %d, want %d", got, dc.NumHosts())
+	}
+}
+
 func TestTierClassification(t *testing.T) {
 	s := sim.New(1)
 	dc := NewDatacenter(s, smallConfig())

@@ -70,6 +70,26 @@ func Enable(s *sim.Simulation) *Context {
 	return c
 }
 
+// EnableGroup enables observability across the shards of one logical
+// (conservative-parallel) simulation: each shard gets its own Tracer —
+// spans are appended by the shard's goroutine during parallel windows,
+// so the log must be shard-private — while all shards share a single
+// Registry. The shared registry is safe because metric registration
+// happens at single-threaded construction time and each registered
+// counter/histogram is mutated only by the shard that owns its
+// component. Returns one Context per simulation, in shard order; merge
+// the results after a run with CollectGroup.
+func EnableGroup(sims []*sim.Simulation) []*Context {
+	reg := NewRegistry()
+	ctxs := make([]*Context, len(sims))
+	for i, s := range sims {
+		c := &Context{Sim: s, Tracer: NewTracer(s), Registry: reg}
+		s.SetObsData(c)
+		ctxs[i] = c
+	}
+	return ctxs
+}
+
 // Of returns the Context attached to s, or nil when observability is
 // disabled.
 func Of(s *sim.Simulation) *Context {

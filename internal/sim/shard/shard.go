@@ -1,0 +1,348 @@
+// Package shard runs a set of sim.Simulation instances as one logical
+// simulation using conservative parallel discrete-event simulation
+// (Chandy–Misra–Bryant-style lookahead). The model is partitioned at
+// construction time into shards — in the datacenter topology, the L2
+// spine is shard 0 and each pod is its own shard — and events that
+// cross a shard boundary travel through per-directed-pair Outboxes
+// instead of being scheduled directly.
+//
+// The coordinator advances all shards in barrier-synchronous windows.
+// Each round it computes the earliest pending event time T across all
+// shards and lets every shard with work execute events in
+// [T, T+lookahead-1] concurrently; the lookahead is the minimum virtual
+// latency of any cross-shard edge, so nothing sent during a window can
+// land inside it. At the barrier, outbox messages merge into their
+// destination wheels in (time, source shard, source sequence) order —
+// a total order independent of goroutine scheduling — so a run with W
+// workers is bit-identical to the same partition run with one worker.
+//
+// Determinism contract: the partition is part of the model, not of the
+// execution. Varying the worker count never changes results; varying
+// the partition (a different shard count or assignment) is a different
+// model with different RNG streams, exactly like changing a topology
+// parameter.
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sim"
+)
+
+const maxTime = sim.Time(1<<63 - 1)
+
+// xmsg is one cross-shard event: fn(arg) due at absolute time at on the
+// destination shard. src/seq implement the deterministic merge order.
+type xmsg struct {
+	at  sim.Time
+	src int32
+	seq uint64
+	fn  func(any)
+	arg any
+}
+
+// Outbox carries events from one source shard to one destination shard.
+// Send may only be called from within the source shard's event handlers
+// (or before the run starts); the coordinator drains all outboxes at
+// each window barrier. Obtain outboxes during model construction via
+// Group.Outbox — never while the group is running.
+type Outbox struct {
+	g        *Group
+	src, dst int32
+	seq      uint64
+	msgs     []xmsg
+}
+
+// Send schedules fn(arg) on the destination shard after delay, measured
+// from the source shard's clock. delay must be at least the group
+// lookahead: that is the safety condition that lets shards advance
+// concurrently, so a smaller delay is a partitioning bug and panics.
+func (o *Outbox) Send(delay sim.Time, fn func(any), arg any) {
+	if delay < o.g.lookahead {
+		panic(fmt.Sprintf("shard: cross-shard delay %d < lookahead %d (shard %d -> %d)",
+			delay, o.g.lookahead, o.src, o.dst))
+	}
+	o.msgs = append(o.msgs, xmsg{
+		at:  o.g.shards[o.src].Now() + delay,
+		src: o.src,
+		seq: o.seq,
+		fn:  fn,
+		arg: arg,
+	})
+	o.seq++
+}
+
+// Group is a fixed set of shards advanced together under a common
+// virtual clock. Construct the model across the shards' simulations,
+// register every cross-shard edge with Outbox, set the lookahead, and
+// drive the whole thing with Run/RunUntil/RunFor from one goroutine.
+type Group struct {
+	seed      int64
+	lookahead sim.Time
+	workers   int
+	shards    []*sim.Simulation
+	outboxes  []*Outbox          // creation order; drained in this order
+	byPair    map[[2]int32]*Outbox
+	inbox     [][]xmsg // per-destination merge staging, reused
+	nexts     []sim.Time
+	busy      []int32
+	running   bool
+
+	// Round-robin work queue for the window's busy shards: workers pop
+	// indices into busy with an atomic counter.
+	cursor atomic.Int64
+
+	// Rounds counts coordinator windows; Crossings counts cross-shard
+	// events merged. Both are stable for a given model + deadline.
+	Rounds    uint64
+	Crossings uint64
+}
+
+// splitmix64 is the shard seed derivation: shard i of a group seeded S
+// always gets the same RNG stream, regardless of worker count.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// NewGroup creates n shards seeded deterministically from seed.
+// workers caps the goroutines used per window; values < 1 (and any
+// value for a single-shard group) mean "one", which executes the whole
+// round inline — the degenerate sequential mode every parallel run is
+// compared against.
+func NewGroup(seed int64, n, workers int) *Group {
+	if n < 1 {
+		panic("shard: group needs at least one shard")
+	}
+	g := &Group{
+		seed:    seed,
+		workers: workers,
+		shards:  make([]*sim.Simulation, n),
+		byPair:  make(map[[2]int32]*Outbox),
+		inbox:   make([][]xmsg, n),
+		nexts:   make([]sim.Time, n),
+	}
+	for i := range g.shards {
+		g.shards[i] = sim.New(int64(splitmix64(uint64(seed) + uint64(i))))
+	}
+	return g
+}
+
+// N returns the number of shards.
+func (g *Group) N() int { return len(g.shards) }
+
+// Workers returns the effective worker count for parallel windows.
+func (g *Group) Workers() int {
+	if g.workers < 1 || len(g.shards) == 1 {
+		return 1
+	}
+	if g.workers > len(g.shards) {
+		return len(g.shards)
+	}
+	return g.workers
+}
+
+// Seed returns the group seed shard streams were derived from.
+func (g *Group) Seed() int64 { return g.seed }
+
+// Sim returns shard i's simulation, for constructing model components
+// on it.
+func (g *Group) Sim(i int) *sim.Simulation { return g.shards[i] }
+
+// Sims returns all shard simulations in shard order.
+func (g *Group) Sims() []*sim.Simulation { return g.shards }
+
+// Lookahead returns the configured conservative window bound.
+func (g *Group) Lookahead() sim.Time { return g.lookahead }
+
+// SetLookahead declares the minimum virtual latency of any cross-shard
+// edge. It must be positive before a multi-shard group can run, and is
+// fixed once running.
+func (g *Group) SetLookahead(l sim.Time) {
+	if l <= 0 {
+		panic("shard: lookahead must be positive")
+	}
+	if g.running {
+		panic("shard: SetLookahead while running")
+	}
+	g.lookahead = l
+}
+
+// Outbox returns the mailbox from shard src to shard dst, creating it
+// on first use. Construction-time only: outbox creation order is part
+// of the deterministic merge order, so it must not race with a window.
+func (g *Group) Outbox(src, dst int) *Outbox {
+	if g.running {
+		panic("shard: Outbox while running")
+	}
+	if src == dst {
+		panic("shard: outbox endpoints must differ")
+	}
+	key := [2]int32{int32(src), int32(dst)}
+	if o := g.byPair[key]; o != nil {
+		return o
+	}
+	o := &Outbox{g: g, src: int32(src), dst: int32(dst)}
+	g.byPair[key] = o
+	g.outboxes = append(g.outboxes, o)
+	return o
+}
+
+// Now returns the group clock. Shard clocks only agree at the barrier;
+// between RunUntil calls they all rest at the last deadline, which is
+// what Now reports.
+func (g *Group) Now() sim.Time { return g.shards[0].Now() }
+
+// Fired sums executed events across all shards.
+func (g *Group) Fired() uint64 {
+	var n uint64
+	for _, s := range g.shards {
+		n += s.Fired()
+	}
+	return n
+}
+
+// RunUntil executes all events with timestamps <= deadline across every
+// shard, then advances all shard clocks to deadline. Single-shard
+// groups collapse to a plain sim.RunUntil — no windows, no barriers.
+func (g *Group) RunUntil(deadline sim.Time) {
+	if len(g.shards) == 1 {
+		g.shards[0].RunUntil(deadline)
+		return
+	}
+	if g.lookahead <= 0 {
+		panic("shard: multi-shard group needs SetLookahead before running")
+	}
+	// Stimulus staged into outboxes before the run (construction-time
+	// sends) must be visible to the first horizon computation.
+	g.merge()
+	g.running = true
+	for {
+		tmin := maxTime
+		for i, s := range g.shards {
+			t, ok := s.NextEventTime()
+			if !ok {
+				t = maxTime
+			}
+			g.nexts[i] = t
+			if t < tmin {
+				tmin = t
+			}
+		}
+		if tmin > deadline {
+			break
+		}
+		// The window [tmin, end] is safe: a cross-shard send fired at
+		// t >= tmin arrives no earlier than t+lookahead > end.
+		end := tmin + g.lookahead - 1
+		if end > deadline || end < tmin { // clamp, incl. overflow
+			end = deadline
+		}
+		g.busy = g.busy[:0]
+		for i, t := range g.nexts {
+			if t <= end {
+				g.busy = append(g.busy, int32(i))
+			}
+		}
+		g.runWindow(end)
+		g.merge()
+		g.Rounds++
+	}
+	g.running = false
+	for _, s := range g.shards {
+		s.RunUntil(deadline)
+	}
+}
+
+// runWindow advances every busy shard to end, spreading shards over the
+// worker pool when there is enough of them to matter.
+func (g *Group) runWindow(end sim.Time) {
+	w := g.Workers()
+	if w > len(g.busy) {
+		w = len(g.busy)
+	}
+	if w <= 1 {
+		for _, id := range g.busy {
+			g.shards[id].RunUntil(end)
+		}
+		return
+	}
+	g.cursor.Store(0)
+	var wg sync.WaitGroup
+	wg.Add(w - 1)
+	work := func() {
+		for {
+			i := g.cursor.Add(1) - 1
+			if int(i) >= len(g.busy) {
+				return
+			}
+			g.shards[g.busy[i]].RunUntil(end)
+		}
+	}
+	for k := 0; k < w-1; k++ {
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	work() // the coordinator is worker 0
+	wg.Wait()
+}
+
+// merge drains every outbox into the destination wheels. Messages for a
+// destination sort by (time, source shard, source sequence): a total
+// order fixed by the model, not by which goroutine ran which shard.
+func (g *Group) merge() {
+	staged := false
+	for _, o := range g.outboxes {
+		if len(o.msgs) == 0 {
+			continue
+		}
+		g.inbox[o.dst] = append(g.inbox[o.dst], o.msgs...)
+		for i := range o.msgs {
+			o.msgs[i] = xmsg{}
+		}
+		o.msgs = o.msgs[:0]
+		staged = true
+	}
+	if !staged {
+		return
+	}
+	for dst, msgs := range g.inbox {
+		if len(msgs) == 0 {
+			continue
+		}
+		sort.Slice(msgs, func(i, j int) bool {
+			a, b := msgs[i], msgs[j]
+			if a.at != b.at {
+				return a.at < b.at
+			}
+			if a.src != b.src {
+				return a.src < b.src
+			}
+			return a.seq < b.seq
+		})
+		s := g.shards[dst]
+		now := s.Now()
+		for _, m := range msgs {
+			if m.at < now {
+				panic(fmt.Sprintf("shard: cross-shard event at t=%d arrived in shard %d's past (now=%d)",
+					m.at, dst, now))
+			}
+			s.ScheduleCall(m.at-now, m.fn, m.arg)
+		}
+		g.Crossings += uint64(len(msgs))
+		for i := range msgs {
+			msgs[i] = xmsg{}
+		}
+		g.inbox[dst] = msgs[:0]
+	}
+}
+
+// RunFor advances the group clock by d from its current barrier time.
+func (g *Group) RunFor(d sim.Time) { g.RunUntil(g.Now() + d) }

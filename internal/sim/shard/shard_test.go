@@ -1,0 +1,237 @@
+package shard_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/sim/shard"
+)
+
+// ringModel is a token ring with one node per shard: each node keeps a
+// private chain of local events going (with per-shard RNG draws in the
+// gaps) and forwards a token around the ring through cross-shard
+// outboxes. Every event appends to its shard's private log, so two runs
+// are comparable event-for-event.
+type ringModel struct {
+	g     *shard.Group
+	logs  [][]string
+	nodes []*ringNode
+}
+
+type ringNode struct {
+	m    *ringModel
+	id   int
+	s    *sim.Simulation
+	out  *shard.Outbox
+	hops int
+}
+
+const ringLookahead = sim.Time(100)
+
+func buildRing(seed int64, n, workers int) *ringModel {
+	g := shard.NewGroup(seed, n, workers)
+	g.SetLookahead(ringLookahead)
+	m := &ringModel{g: g, logs: make([][]string, n)}
+	for i := 0; i < n; i++ {
+		nd := &ringNode{m: m, id: i, s: g.Sim(i)}
+		m.nodes = append(m.nodes, nd)
+	}
+	for i, nd := range m.nodes {
+		nd.out = g.Outbox(i, (i+1)%n)
+		nd.localChain()
+	}
+	// Kick one token in via a locally scheduled event on shard 0.
+	m.nodes[0].s.Schedule(5, func() { m.nodes[0].token(0) })
+	return m
+}
+
+func (nd *ringNode) logf(format string, args ...any) {
+	nd.m.logs[nd.id] = append(nd.m.logs[nd.id],
+		fmt.Sprintf("t=%d ", nd.s.Now())+fmt.Sprintf(format, args...))
+}
+
+func (nd *ringNode) localChain() {
+	gap := sim.Time(nd.s.Rand().Intn(50) + 1)
+	nd.s.Schedule(gap, func() {
+		nd.logf("local draw=%d", nd.s.Rand().Intn(1000))
+		nd.localChain()
+	})
+}
+
+func (nd *ringNode) token(hop int) {
+	nd.logf("token hop=%d", hop)
+	nd.hops++
+	// A flurry of same-window local work before forwarding.
+	for k := sim.Time(1); k <= 3; k++ {
+		k := k
+		nd.s.Schedule(k, func() { nd.logf("echo +%d", k) })
+	}
+	delay := ringLookahead + sim.Time(nd.s.Rand().Intn(20))
+	nd.out.Send(delay, func(arg any) { nd.m.nodes[(nd.id+1)%len(nd.m.nodes)].token(arg.(int) + 1) }, hop)
+}
+
+func runRing(seed int64, n, workers int, until sim.Time) *ringModel {
+	m := buildRing(seed, n, workers)
+	m.g.RunUntil(until)
+	return m
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	const until = 20000
+	seq := runRing(42, 5, 1, until)
+	for _, workers := range []int{2, 4, 16} {
+		par := runRing(42, 5, workers, until)
+		if !reflect.DeepEqual(seq.logs, par.logs) {
+			t.Fatalf("workers=%d: event logs differ from sequential run", workers)
+		}
+		if seq.g.Fired() != par.g.Fired() {
+			t.Fatalf("workers=%d: fired %d events, sequential fired %d", workers, par.g.Fired(), seq.g.Fired())
+		}
+		if seq.g.Crossings != par.g.Crossings || seq.g.Rounds != par.g.Rounds {
+			t.Fatalf("workers=%d: rounds/crossings %d/%d, sequential %d/%d",
+				workers, par.g.Rounds, par.g.Crossings, seq.g.Rounds, seq.g.Crossings)
+		}
+		if par.g.Now() != until {
+			t.Fatalf("workers=%d: group clock %d, want %d", workers, par.g.Now(), until)
+		}
+	}
+	if seq.g.Crossings == 0 {
+		t.Fatal("ring produced no cross-shard traffic; test is vacuous")
+	}
+	if seq.nodes[0].hops < 2 {
+		t.Fatalf("token visited shard 0 only %d times", seq.nodes[0].hops)
+	}
+}
+
+func TestSingleShardMatchesPlainSim(t *testing.T) {
+	// An RNG-free workload on a one-shard group must behave exactly like
+	// the plain sequential kernel: same events, same clock, no windows.
+	build := func(s *sim.Simulation, log *[]string) {
+		var chain func()
+		n := 0
+		chain = func() {
+			*log = append(*log, fmt.Sprintf("t=%d n=%d", s.Now(), n))
+			n++
+			if n < 500 {
+				s.Schedule(sim.Time(n%7+1), chain)
+			}
+		}
+		s.Schedule(3, chain)
+	}
+	plain := sim.New(99)
+	var plainLog []string
+	build(plain, &plainLog)
+	plain.RunUntil(4000)
+
+	g := shard.NewGroup(12345, 1, 8)
+	var groupLog []string
+	build(g.Sim(0), &groupLog)
+	g.RunUntil(4000)
+
+	if !reflect.DeepEqual(plainLog, groupLog) {
+		t.Fatal("one-shard group diverged from plain simulation")
+	}
+	if plain.Fired() != g.Fired() || plain.Now() != g.Now() {
+		t.Fatalf("fired/now = %d/%d vs %d/%d", g.Fired(), g.Now(), plain.Fired(), plain.Now())
+	}
+	if g.Rounds != 0 {
+		t.Fatalf("one-shard group took %d coordinator rounds, want 0", g.Rounds)
+	}
+}
+
+func TestMergeOrderIsSourceDeterministic(t *testing.T) {
+	// Two shards send to shard 0 with identical arrival times; the merge
+	// must order them by (time, source shard, source sequence) no matter
+	// how the window's goroutines interleave.
+	g := shard.NewGroup(7, 3, 4)
+	g.SetLookahead(50)
+	var got []string
+	rec := func(arg any) { got = append(got, arg.(string)) }
+	o1, o2 := g.Outbox(1, 0), g.Outbox(2, 0)
+	for _, src := range []struct {
+		s   *sim.Simulation
+		o   *shard.Outbox
+		tag string
+	}{{g.Sim(1), o1, "s1"}, {g.Sim(2), o2, "s2"}} {
+		src := src
+		src.s.Schedule(100, func() {
+			src.o.Send(50, rec, src.tag+"-a")
+			src.o.Send(50, rec, src.tag+"-b")
+		})
+	}
+	g.RunUntil(1000)
+	want := []string{"s1-a", "s1-b", "s2-a", "s2-b"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merge order = %v, want %v", got, want)
+	}
+}
+
+func TestPreRunStagedSendIsNotLost(t *testing.T) {
+	// A cross-shard send staged before RunUntil (construction-time
+	// stimulus) must be visible to the first horizon computation even
+	// when no shard has wheel events of its own.
+	g := shard.NewGroup(1, 2, 2)
+	g.SetLookahead(10)
+	fired := sim.Time(-1)
+	g.Outbox(0, 1).Send(25, func(any) { fired = g.Sim(1).Now() }, nil)
+	g.RunUntil(100)
+	if fired != 25 {
+		t.Fatalf("staged cross-shard event fired at %d, want 25", fired)
+	}
+	if g.Now() != 100 {
+		t.Fatalf("group clock %d, want 100", g.Now())
+	}
+}
+
+func TestLookaheadViolationPanics(t *testing.T) {
+	g := shard.NewGroup(1, 2, 1)
+	g.SetLookahead(100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Send below the lookahead did not panic")
+		}
+	}()
+	g.Outbox(0, 1).Send(99, func(any) {}, nil)
+}
+
+func TestRunForAdvancesFromBarrier(t *testing.T) {
+	m := buildRing(3, 4, 4)
+	m.g.RunFor(5000)
+	if m.g.Now() != 5000 {
+		t.Fatalf("Now = %d after RunFor(5000)", m.g.Now())
+	}
+	m.g.RunFor(5000)
+	if m.g.Now() != 10000 {
+		t.Fatalf("Now = %d after second RunFor(5000)", m.g.Now())
+	}
+	for i := 0; i < m.g.N(); i++ {
+		if m.g.Sim(i).Now() != 10000 {
+			t.Fatalf("shard %d clock %d, want 10000", i, m.g.Sim(i).Now())
+		}
+	}
+}
+
+func TestResumedRunMatchesSingleRun(t *testing.T) {
+	// Splitting a run into two RunUntil calls must not change anything:
+	// the barrier leaves no hidden state between deadlines.
+	one := runRing(11, 4, 3, 30000)
+	two := buildRing(11, 4, 3)
+	two.g.RunUntil(12345)
+	two.g.RunUntil(30000)
+	if !reflect.DeepEqual(one.logs, two.logs) {
+		t.Fatal("split run diverged from single run")
+	}
+	if one.g.Fired() != two.g.Fired() {
+		t.Fatalf("fired %d vs %d", one.g.Fired(), two.g.Fired())
+	}
+}
+
+func TestSeedChangesStreams(t *testing.T) {
+	a := runRing(1, 3, 1, 10000)
+	b := runRing(2, 3, 1, 10000)
+	if reflect.DeepEqual(a.logs, b.logs) {
+		t.Fatal("different seeds produced identical runs")
+	}
+}

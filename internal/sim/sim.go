@@ -249,6 +249,39 @@ func (s *Simulation) next(limit Time) *Event {
 	}
 }
 
+// NextEventTime reports the timestamp of the earliest pending live event
+// without executing it; ok is false when the queue is empty. The peek is
+// strictly read-only: it must not cascade or advance the wheel cursor,
+// because shard coordinators peek a shard and then possibly merge
+// cross-shard events *earlier* than the shard's own next event — a
+// cursor moved up to that event would leave those merges behind it,
+// violating the insert invariant. Buckets are ordered by time within a
+// level and lower levels strictly precede higher ones, so the earliest
+// live event is the minimum over the first non-tombstone bucket of the
+// lowest occupied level.
+func (s *Simulation) NextEventTime() (Time, bool) {
+	for l := 0; l < wheelLevels; l++ {
+		occ := s.occ[l]
+		for occ != 0 {
+			j := uint64(bits.TrailingZeros64(occ))
+			occ &^= 1 << j
+			b := &s.levels[l][j]
+			best := maxTime
+			for _, e := range b.evs[b.head:] {
+				if !e.stopped && e.at < best {
+					best = e.at
+				}
+			}
+			if best != maxTime {
+				return best, true
+			}
+			// Bucket held only cancelled tombstones; they are discarded
+			// by the pop path, not here. Try the next bucket.
+		}
+	}
+	return 0, false
+}
+
 // Schedule runs fn after delay (which may be zero, meaning "later this
 // instant" — zero-delay events still execute in scheduling order).
 // Negative delays panic: the simulated past is immutable.
@@ -322,7 +355,7 @@ func (s *Simulation) Halt() { s.halted = true }
 // fire executes a popped event and recycles it if it is freelist-owned.
 func (s *Simulation) fire(e *Event) {
 	if e.at < s.now {
-		panic("sim: time went backwards")
+		panic(fmt.Sprintf("sim: time went backwards: at=%d now=%d wheel=%d", e.at, s.now, s.wheelTime))
 	}
 	s.now = e.at
 	s.fired++

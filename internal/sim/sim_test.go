@@ -651,3 +651,87 @@ func TestTraceDisabled(t *testing.T) {
 		t.Fatal("trace not disabled")
 	}
 }
+
+func TestNextEventTime(t *testing.T) {
+	s := New(1)
+	if _, ok := s.NextEventTime(); ok {
+		t.Fatal("NextEventTime on empty queue reported an event")
+	}
+	s.Schedule(500, func() {})
+	s.Schedule(70, func() {})
+	if at, ok := s.NextEventTime(); !ok || at != 70 {
+		t.Fatalf("NextEventTime = (%d, %v), want (70, true)", at, ok)
+	}
+	// Peeking must not consume: the same event is still popped next.
+	if at, ok := s.NextEventTime(); !ok || at != 70 {
+		t.Fatalf("second NextEventTime = (%d, %v), want (70, true)", at, ok)
+	}
+	s.RunUntil(70)
+	if s.Now() != 70 {
+		t.Fatalf("Now() = %d after RunUntil(70)", s.Now())
+	}
+	if at, ok := s.NextEventTime(); !ok || at != 500 {
+		t.Fatalf("NextEventTime after run = (%d, %v), want (500, true)", at, ok)
+	}
+	s.Run()
+	if _, ok := s.NextEventTime(); ok {
+		t.Fatal("NextEventTime after drain reported an event")
+	}
+}
+
+func TestNextEventTimeSkipsTombstones(t *testing.T) {
+	s := New(1)
+	e1 := s.Schedule(10, func() { t.Fatal("cancelled event fired") })
+	e2 := s.Schedule(10, func() { t.Fatal("cancelled event fired") })
+	s.Schedule(10, func() {})
+	far := s.Schedule(1 << 20, func() { t.Fatal("cancelled event fired") })
+	s.Cancel(e1)
+	s.Cancel(e2)
+	if at, ok := s.NextEventTime(); !ok || at != 10 {
+		t.Fatalf("NextEventTime = (%d, %v), want (10, true)", at, ok)
+	}
+	s.RunUntil(10)
+	s.Cancel(far)
+	// Only tombstones remain, across a cascade boundary.
+	if at, ok := s.NextEventTime(); ok {
+		t.Fatalf("NextEventTime = (%d, true) with only tombstones queued", at)
+	}
+	if n := s.Fired(); n != 1 {
+		t.Fatalf("Fired() = %d, want 1", n)
+	}
+}
+
+func TestNextEventTimeAgainstReference(t *testing.T) {
+	s := New(7)
+	rng := rand.New(rand.NewSource(7))
+	n := 0
+	var step func()
+	step = func() {
+		if n < 4000 {
+			n++
+			s.Schedule(Time(rng.Intn(1<<14)), step)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		s.Schedule(Time(rng.Intn(100)), step)
+	}
+	for {
+		at, ok := s.NextEventTime()
+		if !ok {
+			break
+		}
+		fired := s.Fired()
+		if !s.Step() {
+			t.Fatal("peek reported an event but Step found none")
+		}
+		if s.Now() != at {
+			t.Fatalf("peek said next event at %d, Step fired at %d", at, s.Now())
+		}
+		if s.Fired() != fired+1 {
+			t.Fatalf("Step fired %d events", s.Fired()-fired)
+		}
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending() = %d after drain", s.Pending())
+	}
+}
