@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench bench-json bench-check experiments examples fuzz docs telemetry clean
+.PHONY: all build vet test test-short race bench bench-json bench-check cover-frontend e2e experiments examples fuzz docs telemetry clean
 
 all: build vet test docs
 
@@ -35,6 +35,20 @@ bench-json:
 
 bench-check:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime=200ms $(BENCH_PKGS) | $(GO) run ./cmd/ccbench -check BENCH_5.json -tol 0.15
+
+# The live-traffic tier end to end: the frontend's race + determinism
+# tests (real listeners, concurrent clients), then the coverage gate.
+e2e:
+	$(GO) test -race ./internal/frontend/ ./internal/loadgen/
+	$(MAKE) cover-frontend
+
+# Coverage gate for the live-traffic tier: fails when statement coverage
+# of the frontend or the load generator drops below 80%.
+cover-frontend:
+	$(GO) test -cover ./internal/frontend/ ./internal/loadgen/ | awk '{ print } \
+	  /coverage:/ { pct = $$0; sub(/.*coverage: /, "", pct); sub(/%.*/, "", pct); \
+	    if (pct + 0 < 80) { print "FAIL: coverage below 80%"; bad = 1 } } \
+	  END { exit bad }'
 
 # Regenerate every paper table/figure at paper-like sizing.
 experiments:

@@ -12,6 +12,7 @@
 //	ccexperiment -exp svclb -telemetry out.jsonl  # per-point metrics+spans
 //	ccexperiment -exp svclb -telemetry out.jsonl -trace-dump 3  # + waterfalls
 //	ccexperiment -exp scale -shards 8        # sharded-kernel scaling sweep
+//	ccexperiment -exp serve                  # live HTTP frontend + load generator
 //
 // Experiments (and the sweep points inside them) are independent
 // simulations and run in parallel across cores; output order is always
@@ -34,7 +35,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id or 'all'")
+	// The -exp usage text is generated from the experiment registry, so
+	// the flag's documentation cannot drift from what actually runs.
+	exp := flag.String("exp", "all", configcloud.ExperimentUsage())
 	full := flag.Bool("full", false, "paper-like sizing (slower)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables (for plotting)")

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/bioinfo"
@@ -27,14 +28,100 @@ import (
 // Table is the experiment output format.
 type Table = metrics.Table
 
-// Experiment identifiers accepted by RunExperiment and cmd/ccexperiment.
-// The "ext-" entries are extensions beyond the paper's figures: the other
-// Fig. 1a workloads (bioinformatics, compression) and elastic pool
+// experimentDef is one registry entry: the id accepted by RunExperiment
+// and cmd/ccexperiment's -exp flag, a one-line description (rendered into
+// the flag's usage text, so the help cannot drift from the registry), and
+// the runner.
+type experimentDef struct {
+	id   string
+	help string
+	run  func(Scale) ([]*Table, error)
+}
+
+// experiments is the single source of truth for what ccexperiment can
+// run. The "ext-" entries are extensions beyond the paper's figures: the
+// other Fig. 1a workloads (bioinformatics, compression) and elastic pool
 // management, all running on the same substrates.
-var ExperimentIDs = []string{
-	"fig5", "power", "reliability", "fig6", "fig7", "fig8", "crypto",
-	"fig10", "fig11", "fig12", "haas", "ltlloss", "faults", "svclb",
-	"scale", "ext-bioinfo", "ext-compression",
+var experiments = []experimentDef{
+	{"fig5", "shell area and frequency breakdown (Stratix V D5)",
+		func(Scale) ([]*Table, error) { return []*Table{shell.AreaTable()}, nil }},
+	{"power", "card power under the power virus (Sec. II)",
+		func(Scale) ([]*Table, error) { return []*Table{board.Table()}, nil }},
+	{"reliability", "deployment reliability study (Sec. II-B)",
+		func(scale Scale) ([]*Table, error) {
+			reps := 500
+			if scale == Full {
+				reps = 5000
+			}
+			return []*Table{reliability.Table(2, reps)}, nil
+		}},
+	{"fig6", "single-box ranking latency vs throughput",
+		func(scale Scale) ([]*Table, error) { return []*Table{ExpFig6(scale)}, nil }},
+	{"fig7", "five-day two-datacenter production time series",
+		func(scale Scale) ([]*Table, error) {
+			t7, _ := ExpFig7Fig8(scale)
+			return []*Table{t7}, nil
+		}},
+	{"fig8", "query p99.9 latency vs offered load",
+		func(scale Scale) ([]*Table, error) {
+			_, t8 := ExpFig7Fig8(scale)
+			return []*Table{t8}, nil
+		}},
+	{"crypto", "transparent per-flow encryption (Sec. IV)",
+		func(Scale) ([]*Table, error) {
+			return []*Table{cryptoflow.DefaultCostModel().CostTable(), ExpCryptoFunctional()}, nil
+		}},
+	{"fig10", "LTL round-trip latency CDFs by tier",
+		func(scale Scale) ([]*Table, error) {
+			cfg := DefaultFig10Config()
+			if scale == Quick {
+				cfg.PingsPer = 150
+			}
+			return []*Table{Fig10(cfg).Table()}, nil
+		}},
+	{"fig11", "ranking: software vs local vs remote FPGA",
+		func(scale Scale) ([]*Table, error) { return []*Table{ExpFig11(scale)}, nil }},
+	{"fig12", "DNN pool latency vs oversubscription",
+		func(scale Scale) ([]*Table, error) { return []*Table{ExpFig12(scale)}, nil }},
+	{"haas", "HaaS lease lifecycle and self-repair (Fig. 13)",
+		func(Scale) ([]*Table, error) { return []*Table{ExpHaaS()}, nil }},
+	{"ltlloss", "LTL reliability under injected frame loss (Sec. V-A)",
+		func(scale Scale) ([]*Table, error) { return []*Table{ExpLTLLoss(scale)}, nil }},
+	{"faults", "LTL workload under fault-injection profiles",
+		func(scale Scale) ([]*Table, error) { return ExpFaults(scale), nil }},
+	{"svclb", "SM as an informed load balancer (Sec. V-F ext)",
+		func(scale Scale) ([]*Table, error) { return []*Table{ExpSvcLB(scale)}, nil }},
+	{"scale", "E16: sharded-kernel scaling, sequential vs parallel",
+		func(scale Scale) ([]*Table, error) { return []*Table{ExpScale(scale)}, nil }},
+	{"serve", "E17: live HTTP frontend + open-loop load generator",
+		func(scale Scale) ([]*Table, error) { return []*Table{ExpServe(scale)}, nil }},
+	{"ext-bioinfo", "Smith-Waterman on the acceleration plane (Fig. 1a)",
+		func(Scale) ([]*Table, error) { return []*Table{ExpBioinfo()}, nil }},
+	{"ext-compression", "compression offload cost model (Fig. 1a)",
+		func(Scale) ([]*Table, error) { return []*Table{compressor.DefaultCostModel().Table(40)}, nil }},
+}
+
+// ExperimentIDs is the registry's id list, in registry (and output)
+// order; accepted by RunExperiment and cmd/ccexperiment.
+var ExperimentIDs = func() []string {
+	ids := make([]string, len(experiments))
+	for i, d := range experiments {
+		ids[i] = d.id
+	}
+	return ids
+}()
+
+// ExperimentUsage renders the registry as flag-usage text: one "id —
+// description" line per experiment. cmd/ccexperiment builds its -exp
+// help from this, so the flag's documentation is generated, not
+// hand-maintained.
+func ExperimentUsage() string {
+	var b strings.Builder
+	b.WriteString("experiment id or 'all':\n")
+	for _, d := range experiments {
+		fmt.Fprintf(&b, "  %-16s %s\n", d.id, d.help)
+	}
+	return strings.TrimRight(b.String(), "\n")
 }
 
 // Telemetry collection: when enabled (cmd/ccexperiment -telemetry),
@@ -110,54 +197,12 @@ const (
 
 // RunExperiment regenerates one paper artifact as text tables.
 func RunExperiment(id string, scale Scale) ([]*Table, error) {
-	switch id {
-	case "fig5":
-		return []*Table{shell.AreaTable()}, nil
-	case "power":
-		return []*Table{board.Table()}, nil
-	case "reliability":
-		reps := 500
-		if scale == Full {
-			reps = 5000
+	for _, d := range experiments {
+		if d.id == id {
+			return d.run(scale)
 		}
-		return []*Table{reliability.Table(2, reps)}, nil
-	case "fig6":
-		return []*Table{ExpFig6(scale)}, nil
-	case "fig7":
-		t7, _ := ExpFig7Fig8(scale)
-		return []*Table{t7}, nil
-	case "fig8":
-		_, t8 := ExpFig7Fig8(scale)
-		return []*Table{t8}, nil
-	case "crypto":
-		return []*Table{cryptoflow.DefaultCostModel().CostTable(), ExpCryptoFunctional()}, nil
-	case "fig10":
-		cfg := DefaultFig10Config()
-		if scale == Quick {
-			cfg.PingsPer = 150
-		}
-		return []*Table{Fig10(cfg).Table()}, nil
-	case "fig11":
-		return []*Table{ExpFig11(scale)}, nil
-	case "fig12":
-		return []*Table{ExpFig12(scale)}, nil
-	case "haas":
-		return []*Table{ExpHaaS()}, nil
-	case "ltlloss":
-		return []*Table{ExpLTLLoss(scale)}, nil
-	case "faults":
-		return ExpFaults(scale), nil
-	case "svclb":
-		return []*Table{ExpSvcLB(scale)}, nil
-	case "scale":
-		return []*Table{ExpScale(scale)}, nil
-	case "ext-bioinfo":
-		return []*Table{ExpBioinfo()}, nil
-	case "ext-compression":
-		return []*Table{compressor.DefaultCostModel().Table(40)}, nil
-	default:
-		return nil, fmt.Errorf("unknown experiment %q (have %v)", id, ExperimentIDs)
 	}
+	return nil, fmt.Errorf("unknown experiment %q (have %v)", id, ExperimentIDs)
 }
 
 // rankingSweepConfig sizes the Fig. 6/11 sweeps.

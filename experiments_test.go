@@ -17,10 +17,10 @@ func TestExperimentIDsAllRunnable(t *testing.T) {
 	}
 	// The heavier figure sweeps are covered by dedicated tests below and
 	// in their packages; here every light experiment must produce
-	// non-empty tables. ("scale" renders wall-clock columns, so it is
-	// checked for shape here and for determinism by its digest test, not
-	// by byte-comparing tables.)
-	for _, id := range []string{"fig5", "power", "reliability", "crypto", "haas", "ltlloss", "scale"} {
+	// non-empty tables. ("scale" and "serve" render wall-clock columns,
+	// so they are checked for shape here and for determinism by their
+	// digest tests, not by byte-comparing tables.)
+	for _, id := range []string{"fig5", "power", "reliability", "crypto", "haas", "ltlloss", "scale", "serve"} {
 		tabs, err := RunExperiment(id, Quick)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)

@@ -1,0 +1,200 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestScriptDeterministicAndShaped: same seed same script; arrivals are
+// time-ordered; the pipeline mix tracks the requested fraction; rate
+// lands near nominal.
+func TestScriptDeterministicAndShaped(t *testing.T) {
+	a := Script(42, 5000, 100*sim.Millisecond, 0.7)
+	b := Script(42, 5000, 100*sim.Millisecond, 0.7)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("script lengths %d vs %d", len(a), len(b))
+	}
+	rank := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].Seq != uint64(i) {
+			t.Errorf("seq %d at index %d", a[i].Seq, i)
+		}
+		if i > 0 && a[i].At < a[i-1].At {
+			t.Errorf("arrivals out of order at %d", i)
+		}
+		if a[i].At >= 100*sim.Millisecond {
+			t.Errorf("arrival %v past duration", a[i].At)
+		}
+		if a[i].Pipeline == "rank" {
+			rank++
+		} else if a[i].Pipeline != "dnn" {
+			t.Fatalf("bad pipeline %q", a[i].Pipeline)
+		}
+	}
+	// ~500 expected arrivals; allow wide Poisson slack.
+	if n := len(a); n < 350 || n > 700 {
+		t.Errorf("got %d arrivals for 5000/s over 100ms", n)
+	}
+	if frac := float64(rank) / float64(len(a)); frac < 0.55 || frac > 0.85 {
+		t.Errorf("rank fraction %.2f, want ~0.7", frac)
+	}
+	if c := Script(43, 5000, 100*sim.Millisecond, 0.7); len(c) == len(a) && c[len(c)-1].At == a[len(a)-1].At {
+		t.Error("different seeds produced identical scripts")
+	}
+}
+
+// fakeFrontend answers like the real one: admits everything, echoing
+// seq, with a fixed virtual latency.
+func fakeFrontend(t *testing.T, mangle func(seq uint64) (uint64, bool)) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	handle := func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Seq uint64 `json:"seq"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		seq, admitted := req.Seq, true
+		if mangle != nil {
+			seq, admitted = mangle(req.Seq)
+		}
+		status := http.StatusOK
+		if !admitted {
+			status = http.StatusServiceUnavailable
+		}
+		w.WriteHeader(status)
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"seq": seq, "admitted": admitted, "latency_ns": 1500 * int64(seq%7+1),
+		})
+	}
+	mux.HandleFunc("POST /v1/rank", handle)
+	mux.HandleFunc("POST /v1/dnn", handle)
+	return httptest.NewServer(mux)
+}
+
+func TestRunConservationClean(t *testing.T) {
+	srv := fakeFrontend(t, nil)
+	defer srv.Close()
+	script := Script(9, 3000, 30*sim.Millisecond, 0.5)
+	res := Run(Config{BaseURL: srv.URL, Clients: 4}, script)
+	if res.Sent != len(script) || res.OK != len(script) {
+		t.Fatalf("sent %d ok %d, want %d", res.Sent, res.OK, len(script))
+	}
+	if res.Lost != 0 || res.Dup != 0 || res.Errors != 0 || res.Shed != 0 {
+		t.Fatalf("lost=%d dup=%d errors=%d shed=%d", res.Lost, res.Dup, res.Errors, res.Shed)
+	}
+	if res.VirtP50 <= 0 || res.VirtP99 < res.VirtP50 {
+		t.Errorf("virtual percentiles p50=%v p99=%v", res.VirtP50, res.VirtP99)
+	}
+	if res.RPS <= 0 {
+		t.Errorf("RPS %v", res.RPS)
+	}
+	// Digest is a pure function of (seq, admitted, virtual latency):
+	// re-running against the same deterministic server reproduces it.
+	res2 := Run(Config{BaseURL: srv.URL, Clients: 2}, script)
+	if res2.Digest != res.Digest {
+		t.Errorf("digest changed across client counts: %x vs %x", res.Digest, res2.Digest)
+	}
+}
+
+// TestRunDetectsCrossedResponses: a server that answers with another
+// request's seq must surface as Dup (the stolen seq) and Lost (the
+// starved one).
+func TestRunDetectsCrossedResponses(t *testing.T) {
+	srv := fakeFrontend(t, func(seq uint64) (uint64, bool) {
+		if seq == 3 {
+			return 4, true // request 3 answered with request 4's seq
+		}
+		return seq, true
+	})
+	defer srv.Close()
+	script := Script(9, 2000, 10*sim.Millisecond, 0.5)
+	if len(script) < 6 {
+		t.Skip("script too short for the mangled seq")
+	}
+	res := Run(Config{BaseURL: srv.URL, Clients: 3}, script)
+	if res.Lost != 1 || res.Dup != 1 {
+		t.Fatalf("lost=%d dup=%d, want 1/1 (res %+v)", res.Lost, res.Dup, res)
+	}
+}
+
+// TestRunCountsShedsAndErrors exercises the 503 and transport-error
+// classification paths.
+func TestRunCountsShedsAndErrors(t *testing.T) {
+	srv := fakeFrontend(t, func(seq uint64) (uint64, bool) {
+		return seq, seq%2 == 0 // odd seqs shed
+	})
+	script := Script(9, 2000, 10*sim.Millisecond, 0.5)
+	res := Run(Config{BaseURL: srv.URL, Clients: 2}, script)
+	wantShed := len(script) / 2
+	if res.Shed < wantShed-1 || res.Shed > wantShed+1 {
+		t.Errorf("shed %d, want ~%d", res.Shed, wantShed)
+	}
+	if res.Lost != 0 || res.Dup != 0 {
+		t.Errorf("lost=%d dup=%d", res.Lost, res.Dup)
+	}
+	if res.ShedRate <= 0 {
+		t.Errorf("shed rate %v", res.ShedRate)
+	}
+	srv.Close() // now every request is a transport error
+
+	res = Run(Config{BaseURL: srv.URL, Clients: 2, Timeout: time.Second}, script[:4])
+	if res.Errors != 4 || res.Lost != 4 || res.OK != 0 {
+		t.Errorf("dead server: errors=%d lost=%d ok=%d, want 4/4/0", res.Errors, res.Lost, res.OK)
+	}
+}
+
+// TestRunRealTimePacing: requests fire no earlier than their scheduled
+// wall offsets (scaled by dilation).
+func TestRunRealTimePacing(t *testing.T) {
+	var early atomic.Int32
+	start := time.Now()
+	offsets := map[uint64]time.Duration{}
+	script := []Req{
+		{Seq: 0, At: 0, Pipeline: "rank"},
+		{Seq: 1, At: 20 * sim.Millisecond, Pipeline: "dnn"},
+		{Seq: 2, At: 40 * sim.Millisecond, Pipeline: "rank"},
+	}
+	const dilation = 0.5 // wall offset = virtual / 0.5 = 2x
+	for _, r := range script {
+		offsets[r.Seq] = time.Duration(float64(r.At) / dilation)
+	}
+	mux := http.NewServeMux()
+	handler := func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Seq uint64 `json:"seq"`
+		}
+		_ = json.NewDecoder(r.Body).Decode(&req)
+		if time.Since(start) < offsets[req.Seq]-2*time.Millisecond {
+			early.Add(1)
+		}
+		_ = json.NewEncoder(w).Encode(map[string]any{"seq": req.Seq, "admitted": true, "latency_ns": 1})
+	}
+	mux.HandleFunc("POST /v1/rank", handler)
+	mux.HandleFunc("POST /v1/dnn", handler)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	start = time.Now()
+	res := Run(Config{BaseURL: srv.URL, Clients: 3, RealTime: true, Dilation: dilation}, script)
+	if early.Load() != 0 {
+		t.Errorf("%d requests fired before their schedule", early.Load())
+	}
+	if res.OK != 3 || res.Lost != 0 {
+		t.Errorf("ok=%d lost=%d", res.OK, res.Lost)
+	}
+	if res.Elapsed < 75*time.Millisecond {
+		t.Errorf("run finished in %v; last request was scheduled at 80ms wall", res.Elapsed)
+	}
+}

@@ -1,0 +1,50 @@
+package svclb
+
+import "repro/internal/sim"
+
+// Admission is the deadline admission-control decision of §V-F, factored
+// out of the balancer so every ingestion tier (the balancer's own arrival
+// path, the live-traffic HTTP frontend) sheds by exactly the same rule.
+//
+// The estimator is intentionally simple — queueing model, not oracle: a
+// request dispatched at a backend whose estimated queue depth is d will
+// complete in about d service times plus the non-queueing overhead
+// (PCIe both ways plus the fabric). A real-time frontend adds a third
+// term, Lag: when the simulation's virtual clock has fallen behind the
+// wall clock, every admitted request will be observed by its client at
+// least that much later than virtual time claims, so the lag counts
+// against the deadline exactly like queueing does.
+type Admission struct {
+	// ServiceTime is the per-request service time the estimate multiplies
+	// queue depth by.
+	ServiceTime sim.Time
+	// NetOverhead is everything that is not queueing: PCIe both ways plus
+	// the fabric round trip.
+	NetOverhead sim.Time
+	// Deadline is the client's completion deadline. Zero or negative
+	// disables shedding (Admit always reports true).
+	Deadline sim.Time
+}
+
+// Estimate returns the predicted completion time for a request routed at
+// a backend with the given estimated queue depth, observed by a client
+// whose clock leads virtual time by lag.
+func (a Admission) Estimate(depth int, lag sim.Time) sim.Time {
+	if depth < 0 {
+		depth = 0
+	}
+	if lag < 0 {
+		lag = 0
+	}
+	return sim.Time(depth)*a.ServiceTime + a.NetOverhead + lag
+}
+
+// Admit reports whether a request with the given backend depth and clock
+// lag is predicted to meet the deadline. A non-positive deadline admits
+// everything (admission control off).
+func (a Admission) Admit(depth int, lag sim.Time) bool {
+	if a.Deadline <= 0 {
+		return true
+	}
+	return a.Estimate(depth, lag) <= a.Deadline
+}

@@ -217,6 +217,12 @@ type pendingReq struct {
 	hedgeEv    *sim.Event
 	failedOver bool
 
+	// svc is the per-request service time (0 = Config.ServiceTime) and
+	// done the per-request completion callback; both are only set for
+	// externally submitted requests (Service.Submit).
+	svc  sim.Time
+	done func(latency sim.Time)
+
 	flow obs.FlowID // ReqFlow(id); 0 when tracing is disabled
 	span obs.SpanID // the svclb.request root span
 }
@@ -258,6 +264,12 @@ type Balancer struct {
 	started bool // past initial lease setup: grows/shrinks are elastic events
 	tracer  *obs.Tracer
 
+	// hostEnd is one past the last host id this balancer's layout claims;
+	// hostsPerTOR is the fabric's TOR width (for aligning the next
+	// service's base on a shared fabric).
+	hostEnd     int
+	hostsPerTOR int
+
 	offered, admitted, shed, completed     metrics.Counter
 	wOffered, wAdmitted, wCompleted        metrics.Counter
 	hedged, hedgeWins, cancels, cancelHits metrics.Counter
@@ -289,8 +301,34 @@ func (b *Balancer) registerMetrics(reg *obs.Registry) {
 	reg.Windowed("svclb.latency_all", "ns", pkg, "every completion (the autoscale control signal)", b.winLat)
 }
 
-// Run executes one balancer measurement.
-func Run(cfg Config) Result {
+// Service is a constructed balancer whose requests, run loop, and clock
+// belong to the caller: svclb's own Run drives one with open-loop
+// generators; the live-traffic HTTP frontend (internal/frontend) drives
+// one from real network requests. All methods must be called from the
+// goroutine that owns the simulation.
+type Service struct {
+	b *Balancer
+}
+
+// Request parameterizes one externally submitted request.
+type Request struct {
+	// Service overrides Config.ServiceTime for this request (0 keeps the
+	// configured default) — how a frontend serves per-request cost
+	// distributions over one pool.
+	Service sim.Time
+	// Lag is added to the admission estimate: a real-time frontend
+	// passes how far virtual time trails the wall clock, so fall-behind
+	// shedding rides the same deadline rule as queueing (see Admission).
+	Lag sim.Time
+	// Done, if non-nil, fires at completion with the request's latency.
+	// Shed requests never fire Done: Submit reports the rejection
+	// synchronously instead.
+	Done func(latency sim.Time)
+}
+
+// NewService builds a standalone balancer on its own simulation and
+// fabric, ready for externally driven requests.
+func NewService(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	s := sim.New(cfg.Seed)
 	if cfg.Telemetry {
@@ -309,10 +347,23 @@ func Run(cfg Config) Result {
 		return sh
 	}
 	dc := netsim.NewDatacenter(s, dcCfg)
+	sv := NewServiceOn(s, dc, shells, 0, cfg)
+	dc.StartBackgroundLoad(cfg.BackgroundLoad, pkt.ClassRDMA, 1400)
+	return sv
+}
 
-	// Clients fill TORs from host 0; the SM host and the pool candidates
-	// live on the next TORs, so request and gossip traffic cross the L1
-	// tier like a real global pool's.
+// NewServiceOn wires a balancer into an existing simulation and fabric,
+// so several services (a frontend's ranking and DNN pipelines) can share
+// one virtual clock and one datacenter. hostBase is the first host id
+// this service may claim and must be TOR-aligned; the caller owns
+// telemetry enablement and background load. Layout from hostBase
+// mirrors the standalone layout from host 0: clients fill TORs first,
+// then the SM host and the pool candidates on the following TORs, so
+// request and gossip traffic cross the L1 tier like a real global
+// pool's.
+func NewServiceOn(s *sim.Simulation, dc *netsim.Datacenter, shells map[int]*shell.Shell, hostBase int, cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	dcCfg := dc.Config()
 	b := &Balancer{
 		s: s, cfg: cfg,
 		shells:  shells,
@@ -325,10 +376,10 @@ func Run(cfg Config) Result {
 	}
 	b.tracer = obs.TracerOf(s)
 	for i := 0; i < cfg.Clients; i++ {
-		dc.Host(i)
-		b.clients = append(b.clients, clientEnd{host: i, sh: shells[i]})
+		dc.Host(hostBase + i)
+		b.clients = append(b.clients, clientEnd{host: hostBase + i, sh: shells[hostBase+i]})
 	}
-	base := ((cfg.Clients + dcCfg.HostsPerTOR - 1) / dcCfg.HostsPerTOR) * dcCfg.HostsPerTOR
+	base := hostBase + ((cfg.Clients+dcCfg.HostsPerTOR-1)/dcCfg.HostsPerTOR)*dcCfg.HostsPerTOR
 	b.smHost = base
 	dc.Host(base)
 	poolSize := cfg.FPGAs + cfg.Spares
@@ -340,6 +391,8 @@ func Run(cfg Config) Result {
 		poolHosts[i] = base + 1 + i
 		dc.Host(base + 1 + i)
 	}
+	b.hostEnd = base + 1 + poolSize
+	b.hostsPerTOR = dcCfg.HostsPerTOR
 
 	pcieCfg := shell.DefaultConfig()
 	b.pcie = func(n int) sim.Time {
@@ -392,8 +445,56 @@ func Run(cfg Config) Result {
 		}
 	}
 	b.started = true
+	return &Service{b: b}
+}
 
-	dc.StartBackgroundLoad(cfg.BackgroundLoad, pkt.ClassRDMA, 1400)
+// Sim returns the simulation the service runs on.
+func (sv *Service) Sim() *sim.Simulation { return sv.b.s }
+
+// Clients returns the number of ingress client hosts the service was
+// built with; Submit's client index must be in [0, Clients).
+func (sv *Service) Clients() int { return len(sv.b.clients) }
+
+// NextHostBase returns the first TOR-aligned host id past the hosts this
+// service occupies — where the next service on the same fabric starts.
+func (sv *Service) NextHostBase() int {
+	hpt := sv.b.hostsPerTOR
+	return ((sv.b.hostEnd + hpt - 1) / hpt) * hpt
+}
+
+// Submit runs one request from client index ci through admission,
+// routing, and the packet-level data plane. It returns the request id
+// and true when admitted (req.Done fires at completion), or 0 and false
+// when shed.
+func (sv *Service) Submit(ci int, req Request) (uint64, bool) {
+	return sv.b.submit(ci, req)
+}
+
+// Admission returns the deadline rule this service sheds by, for a
+// request with the given service time (0 = the configured default).
+func (sv *Service) Admission(svc sim.Time) Admission {
+	return sv.b.admission(svc)
+}
+
+// Stop releases control-plane resources (the HaaS health poll and
+// depth gossip). In-flight requests still complete if the caller keeps
+// running the simulation.
+func (sv *Service) Stop() {
+	sv.b.rm.Stop()
+	for _, t := range sv.b.gossip {
+		t.Stop()
+	}
+}
+
+// Result snapshots the service's counters and latency percentiles.
+func (sv *Service) Result() Result { return sv.b.result() }
+
+// Run executes one balancer measurement.
+func Run(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	sv := NewService(cfg)
+	b := sv.b
+	s := b.s
 
 	gens := make([]*workload.OpenLoop, cfg.Clients)
 	for ci := range b.clients {
@@ -429,7 +530,13 @@ func Run(cfg Config) Result {
 	if as != nil {
 		as.stop()
 	}
+	return b.result()
+}
 
+// result snapshots the balancer's counters and latency percentiles,
+// collecting telemetry when observability is enabled.
+func (b *Balancer) result() Result {
+	cfg := b.cfg
 	res := Result{
 		Policy:  cfg.Policy,
 		Clients: cfg.Clients,
@@ -459,7 +566,7 @@ func Run(cfg Config) Result {
 	if h := b.in.Stats.Recovery[faultinject.NodeKill]; h.Count() > 0 {
 		res.Recovery = sim.Time(h.Percentile(99))
 	}
-	if c := obs.Of(s); c != nil {
+	if c := obs.Of(b.s); c != nil {
 		label := cfg.Policy
 		if cfg.Admission {
 			label += "+ac"
@@ -473,10 +580,42 @@ func Run(cfg Config) Result {
 	return res
 }
 
-// arrive handles one client request: admission, routing, dispatch.
+// admission returns the deadline rule for a request with the given
+// service time (0 = the configured default). When admission control is
+// off the returned rule's Deadline is zero, which admits everything.
+func (b *Balancer) admission(svc sim.Time) Admission {
+	if svc <= 0 {
+		svc = b.cfg.ServiceTime
+	}
+	a := Admission{ServiceTime: svc, NetOverhead: b.cfg.NetOverhead}
+	if b.cfg.Admission {
+		a.Deadline = b.cfg.Deadline
+	}
+	return a
+}
+
+// inWindow reports whether t falls in the measurement window. A
+// non-positive Duration means an externally driven service with no
+// predetermined end: everything past warmup is measured.
+func (b *Balancer) inWindow(t sim.Time) bool {
+	if t < b.cfg.Warmup {
+		return false
+	}
+	return b.cfg.Duration <= 0 || t < b.cfg.Warmup+b.cfg.Duration
+}
+
+// arrive handles one generator request: admission, routing, dispatch.
 func (b *Balancer) arrive(ci int) {
+	b.submit(ci, Request{})
+}
+
+// submit runs one request through admission, routing, and dispatch.
+// This is arrive generalized for external callers: a per-request
+// service-time override, an admission lag term, and a completion
+// callback. With a zero Request it is byte-for-byte the generator path.
+func (b *Balancer) submit(ci int, req Request) (uint64, bool) {
 	now := b.s.Now()
-	inWindow := now >= b.cfg.Warmup && now < b.cfg.Warmup+b.cfg.Duration
+	inWindow := b.inWindow(now)
 	b.offered.Inc()
 	if inWindow {
 		b.wOffered.Inc()
@@ -485,23 +624,20 @@ func (b *Balancer) arrive(ci int) {
 	if !ok {
 		b.shed.Inc()
 		b.tracer.Event(0, "svclb.shed", 0, int64(ci))
-		return
+		return 0, false
 	}
-	if b.cfg.Admission {
-		est := sim.Time(estDepth(sl))*b.cfg.ServiceTime + b.cfg.NetOverhead
-		if est > b.cfg.Deadline {
-			b.router.Done(sl)
-			b.shed.Inc()
-			b.tracer.Event(0, "svclb.shed", 0, int64(ci))
-			return
-		}
+	if !b.admission(req.Service).Admit(estDepth(sl), req.Lag) {
+		b.router.Done(sl)
+		b.shed.Inc()
+		b.tracer.Event(0, "svclb.shed", 0, int64(ci))
+		return 0, false
 	}
 	b.admitted.Inc()
 	if inWindow {
 		b.wAdmitted.Inc()
 	}
 	b.nextReq++
-	p := &pendingReq{id: b.nextReq, client: ci, t0: now}
+	p := &pendingReq{id: b.nextReq, client: ci, t0: now, svc: req.Service, done: req.Done}
 	if b.tracer != nil {
 		p.flow = obs.ReqFlow(p.id)
 		p.span = b.tracer.Start(p.flow, "svclb.request", 0)
@@ -512,6 +648,17 @@ func (b *Balancer) arrive(ci int) {
 	if b.cfg.HedgeDelay > 0 {
 		p.hedgeEv = b.s.Schedule(b.cfg.HedgeDelay, func() { b.hedge(p) })
 	}
+	return p.id, true
+}
+
+// serviceOf returns the service time a backend should charge request
+// id: the per-request override when one was submitted, else the
+// configured default.
+func (b *Balancer) serviceOf(reqID uint64) sim.Time {
+	if p := b.pending[reqID]; p != nil && p.svc > 0 {
+		return p.svc
+	}
+	return b.cfg.ServiceTime
 }
 
 // sendCopy dispatches one copy of p to sl (PCIe then LTL).
@@ -609,7 +756,7 @@ func (b *Balancer) onResponse(ci int, sl *Slot, reqID uint64) {
 		b.completed.Inc()
 		b.tracer.End(p.span)
 		b.winLat.Observe(lat)
-		if p.t0 >= b.cfg.Warmup && p.t0 < b.cfg.Warmup+b.cfg.Duration {
+		if b.inWindow(p.t0) {
 			b.wCompleted.Inc()
 			b.measured.Observe(lat)
 		}
@@ -618,6 +765,9 @@ func (b *Balancer) onResponse(ci int, sl *Slot, reqID uint64) {
 			// backend: the fault is masked from this client's perspective.
 			b.in.RecordRecovery(faultinject.NodeKill, now-b.killAt)
 			b.awaitRecovery = false
+		}
+		if p.done != nil {
+			p.done(sim.Time(lat))
 		}
 	})
 }
@@ -694,7 +844,7 @@ func (b *Balancer) addBackend(h, lid int) {
 		must(fs.OpenRemoteSend(uint16(ci)+1000, ch, uint16(sl.Index)+1000, nil))
 		must(fs.OpenRemoteRecv(uint16(ci)+1, ch, func(payload []byte) {
 			reqID := binary.BigEndian.Uint64(payload)
-			q.Submit(reqID, b.cfg.ServiceTime, func() {
+			q.Submit(reqID, b.serviceOf(reqID), func() {
 				resp := make([]byte, b.cfg.RespBytes)
 				binary.BigEndian.PutUint64(resp, reqID)
 				fs.SendRemote(uint16(ci)+1000, resp, nil)

@@ -1,0 +1,39 @@
+package configcloud
+
+import (
+	"testing"
+
+	"repro/internal/frontend"
+)
+
+// TestServePointReplayDeterministic pins E17's determinism witness at
+// the root: two replay runs over real HTTP, fresh listeners and fresh
+// connections each time, must agree byte-for-byte on what was served.
+func TestServePointReplayDeterministic(t *testing.T) {
+	cfg := ServeConfig{
+		Seed: 17, Mode: frontend.Replay,
+		Rate: 3000, Duration: 20 * Millisecond, RankFraction: 0.6,
+		Clients: 4,
+	}
+	a, err := RunServePoint(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Clients = 1 // a different delivery interleaving must not matter
+	b, err := RunServePoint(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []ServeResult{a, b} {
+		if r.Load.Lost != 0 || r.Load.Dup != 0 || r.Load.Errors != 0 {
+			t.Fatalf("conservation violated: %+v", r.Load)
+		}
+	}
+	if a.Load.OK == 0 {
+		t.Fatalf("nothing completed: %+v", a.Load)
+	}
+	if a.Load.Digest != b.Load.Digest || a.Load.OK != b.Load.OK || a.Load.Shed != b.Load.Shed {
+		t.Fatalf("replay not deterministic: %x/%d/%d vs %x/%d/%d",
+			a.Load.Digest, a.Load.OK, a.Load.Shed, b.Load.Digest, b.Load.OK, b.Load.Shed)
+	}
+}
