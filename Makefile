@@ -27,14 +27,15 @@ bench:
 	$(GO) test -run '^$$' -bench=. -benchmem ./...
 
 # Hot-path benchmark packages: the sim kernel, the shard coordinator,
-# and the fabric. BENCH_5.json is the committed baseline the CI perf
-# guard compares fresh runs against (ccbench, ±15%).
-BENCH_PKGS = ./internal/sim/... ./internal/netsim/
+# the fabric, and the on-fabric network services. BENCH_7.json is the
+# committed baseline the CI perf guard compares fresh runs against
+# (ccbench, ±15%).
+BENCH_PKGS = ./internal/sim/... ./internal/netsim/ ./internal/kvcache/ ./internal/rpcnic/
 bench-json:
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime=200ms $(BENCH_PKGS) | $(GO) run ./cmd/ccbench -o BENCH_5.json
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=200ms $(BENCH_PKGS) | $(GO) run ./cmd/ccbench -o BENCH_7.json
 
 bench-check:
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime=200ms $(BENCH_PKGS) | $(GO) run ./cmd/ccbench -check BENCH_5.json -tol 0.15
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=200ms $(BENCH_PKGS) | $(GO) run ./cmd/ccbench -check BENCH_7.json -tol 0.15
 
 # The live-traffic tier end to end: the frontend's race + determinism
 # tests (real listeners, concurrent clients), then the coverage gate.
@@ -79,6 +80,10 @@ fuzz:
 	$(GO) test -fuzz FuzzDecodeLTL -fuzztime 30s ./internal/pkt/
 	$(GO) test -fuzz FuzzEncodeDecodeUDP -fuzztime 30s ./internal/pkt/
 	$(GO) test -fuzz FuzzHandleFrame -fuzztime 30s ./internal/ltl/
+	$(GO) test -fuzz FuzzDecodeReq -fuzztime 30s ./internal/kvcache/
+	$(GO) test -fuzz FuzzDecodeResp -fuzztime 30s ./internal/kvcache/
+	$(GO) test -fuzz FuzzDecodeReq -fuzztime 30s ./internal/rpcnic/
+	$(GO) test -fuzz FuzzDecodeResp -fuzztime 30s ./internal/rpcnic/
 
 clean:
 	$(GO) clean -testcache

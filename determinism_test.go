@@ -195,6 +195,52 @@ func TestShardedScaleDeterminism(t *testing.T) {
 	}
 }
 
+// The KV service inherits the sharded kernel's guarantee: running the
+// same KV workload (clients, shards, and closed-loop request chains
+// spread across pods) on one worker or many must agree bit for bit —
+// same completion-stream digest and byte-identical telemetry JSONL.
+// This is E18's "seq-vs-sharded digest determinism" acceptance check.
+func TestNetsvcScaleDeterminism(t *testing.T) {
+	run := func(workers int) (NetsvcScaleResult, string) {
+		cfg := DefaultNetsvcScaleConfig(3)
+		cfg.HostsPerTOR = 6
+		cfg.TORsPerPod = 4
+		cfg.RequestsPerClient = 50
+		cfg.Duration = 6 * Millisecond
+		cfg.Workers = workers
+		cfg.Telemetry = true
+		cfg.SpanLimit = 3000
+		res := RunNetsvcScalePoint(cfg)
+		var b strings.Builder
+		if err := obs.EncodeAll(&b, []*obs.Record{res.Record}); err != nil {
+			t.Fatal(err)
+		}
+		return res, b.String()
+	}
+	seq, seqTel := run(1)
+	par, parTel := run(4)
+	if seq.Completed == 0 {
+		t.Fatal("workload completed no KV requests")
+	}
+	if seq.Crossings == 0 {
+		t.Fatal("workload never crossed a shard boundary")
+	}
+	if len(seqTel) < 1000 {
+		t.Fatalf("telemetry suspiciously small (%d bytes)", len(seqTel))
+	}
+	if par.Workers < 2 {
+		t.Fatalf("parallel run used %d workers", par.Workers)
+	}
+	if seq.Digest != par.Digest {
+		t.Errorf("digest diverged: sequential %016x, parallel %016x (completed %d vs %d, events %d vs %d)",
+			seq.Digest, par.Digest, seq.Completed, par.Completed, seq.Events, par.Events)
+	}
+	if seqTel != parTel {
+		t.Errorf("telemetry JSONL diverged between worker counts (%d vs %d bytes)",
+			len(seqTel), len(parTel))
+	}
+}
+
 func TestFig10Determinism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("fig10 twice is heavy")

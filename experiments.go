@@ -95,6 +95,8 @@ var experiments = []experimentDef{
 		func(scale Scale) ([]*Table, error) { return []*Table{ExpScale(scale)}, nil }},
 	{"serve", "E17: live HTTP frontend + open-loop load generator",
 		func(scale Scale) ([]*Table, error) { return []*Table{ExpServe(scale)}, nil }},
+	{"netsvc", "E18: on-fabric network services — line-rate KV cache + RPC NIC offload",
+		func(scale Scale) ([]*Table, error) { return ExpNetsvc(scale), nil }},
 	{"ext-bioinfo", "Smith-Waterman on the acceleration plane (Fig. 1a)",
 		func(Scale) ([]*Table, error) { return []*Table{ExpBioinfo()}, nil }},
 	{"ext-compression", "compression offload cost model (Fig. 1a)",

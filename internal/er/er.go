@@ -106,6 +106,12 @@ type Stats struct {
 	StallConflict metrics.Counter // lost switch arbitration this cycle
 	BufOccupancy  metrics.Gauge   // flits buffered across all inputs
 	Cycles        metrics.Counter // active arbitration cycles
+	// VCFlits[v] counts flits switched on virtual channel v. Per-VC
+	// accounting is what makes traffic-plane separation auditable: when
+	// service datagrams ride VC 0 and the lease/connection plane rides
+	// VC 1 (internal/shell), these counters witness that neither plane
+	// leaked onto the other's channel.
+	VCFlits []metrics.Counter
 }
 
 // inputVC is one VC's FIFO at one input port.
@@ -208,7 +214,12 @@ func New(s *sim.Simulation, cfg Config) *Router {
 	if r.tracer != nil {
 		r.msgSpans = make(map[spanKey]obs.SpanID)
 	}
+	r.Stats.VCFlits = make([]metrics.Counter, cfg.VCs)
 	if reg := obs.RegistryOf(s); reg != nil {
+		for v := 0; v < cfg.VCs; v++ {
+			reg.Counter(fmt.Sprintf("er.flits_vc%d", v), "flits", "er",
+				fmt.Sprintf("flits switched on virtual channel %d", v), &r.Stats.VCFlits[v])
+		}
 		reg.Counter("er.flits_switched", "flits", "er", "flits crossing the switch", &r.Stats.FlitsSwitched)
 		reg.Counter("er.msgs_delivered", "msgs", "er", "messages fully reassembled", &r.Stats.MsgsDelivered)
 		reg.Counter("er.stall_no_credit", "events", "er", "output stalls awaiting downstream credit", &r.Stats.StallNoCredit)
@@ -413,6 +424,7 @@ func (r *Router) tick() {
 
 		out.takeCredit(head.VC)
 		r.Stats.FlitsSwitched.Inc()
+		r.Stats.VCFlits[head.VC].Inc()
 		if in.creditReturn != nil {
 			in.creditReturn(pick.vc)
 		}

@@ -94,6 +94,42 @@ func profiles() map[string]Profile {
 			FlapDown:   300 * sim.Microsecond,
 			Link:       lossy,
 		},
+		// incast: many-to-one fan-in at a service node. The shallow switch
+		// buffers overflow (drops) and what survives queues behind the
+		// burst (frequent, large delays) — the canonical KV-cache stressor.
+		"incast": {
+			Name: "incast",
+			Link: LinkFaults{
+				Classes:   []pkt.TrafficClass{pkt.ClassLTL},
+				DropRate:  0.02,
+				DelayRate: 0.15,
+				Delay:     50 * sim.Microsecond,
+			},
+		},
+		// elephantmice: bulk flows sharing links with latency-sensitive
+		// RPCs. Every class sees head-of-line delay behind elephant bursts
+		// (nil Classes = all traffic), but nothing is lost — the tail
+		// inflation is pure queueing.
+		"elephantmice": {
+			Name: "elephantmice",
+			Link: LinkFaults{
+				DelayRate: 0.08,
+				Delay:     120 * sim.Microsecond,
+			},
+		},
+		// pfcstorm: priority-flow-control pause storms. Links are lossless
+		// but repeatedly stop outright (flaps model pause frames freezing
+		// the port), and paused traffic resumes in bursts (delay, no drops).
+		"pfcstorm": {
+			Name:     "pfcstorm",
+			FlapRate: 40,
+			FlapDown: 200 * sim.Microsecond,
+			Link: LinkFaults{
+				Classes:   []pkt.TrafficClass{pkt.ClassLTL},
+				DelayRate: 0.05,
+				Delay:     200 * sim.Microsecond,
+			},
+		},
 	}
 }
 

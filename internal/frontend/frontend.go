@@ -27,6 +27,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/kvcache"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/obs"
@@ -74,6 +75,52 @@ type PipelineConfig struct {
 	Deadline sim.Time
 }
 
+// KVConfig sizes the optional "kv" pipeline: an on-fabric KV cache
+// (internal/kvcache) behind POST /v1/kv. Requests map seq
+// deterministically to a key and operation, so the same script produces
+// the same GET/PUT stream in any mode and over any connection order.
+type KVConfig struct {
+	Enabled bool
+	Clients int
+	Shards  int
+	Spares  int
+	// Keys is the keyspace the seq-derived indices draw from.
+	Keys               int
+	KeyBytes, ValBytes int
+	Timeout            sim.Time
+	// PutEvery makes every Nth scripted request a PUT (default 4); the
+	// rest are GETs.
+	PutEvery int
+}
+
+func (kc KVConfig) withDefaults() KVConfig {
+	if kc.Clients <= 0 {
+		kc.Clients = 4
+	}
+	if kc.Shards <= 0 {
+		kc.Shards = 2
+	}
+	if kc.Spares < 0 {
+		kc.Spares = 0
+	}
+	if kc.Keys <= 0 {
+		kc.Keys = 512
+	}
+	if kc.KeyBytes <= 0 {
+		kc.KeyBytes = 16
+	}
+	if kc.ValBytes <= 0 {
+		kc.ValBytes = 128
+	}
+	if kc.Timeout <= 0 {
+		kc.Timeout = 2 * sim.Millisecond
+	}
+	if kc.PutEvery <= 0 {
+		kc.PutEvery = 4
+	}
+	return kc
+}
+
 // Config parameterizes one frontend service.
 type Config struct {
 	Seed int64
@@ -81,6 +128,8 @@ type Config struct {
 
 	Rank PipelineConfig
 	DNN  PipelineConfig
+	// KV, when enabled, adds the on-fabric KV cache pipeline at /v1/kv.
+	KV KVConfig
 
 	// Expect is the replay script length: the driver buffers requests
 	// until it has all of them, then runs the simulation once. Requests
@@ -120,7 +169,7 @@ func DefaultConfig() Config {
 		DNN: PipelineConfig{
 			Clients: 16, FPGAs: 2, Spares: 1,
 			ServiceTime: 250 * sim.Microsecond,
-			ReqBytes: 4 << 10, RespBytes: 256,
+			ReqBytes:    4 << 10, RespBytes: 256,
 			Deadline: 2500 * sim.Microsecond,
 		},
 		BackgroundLoad: 0.05,
@@ -149,6 +198,8 @@ type Resp struct {
 	Admitted bool `json:"admitted"`
 	// LatencyNs is the virtual client-observed latency (admitted only).
 	LatencyNs int64 `json:"latency_ns,omitempty"`
+	// Hit reports a KV GET answered from the cache (kv pipeline only).
+	Hit bool `json:"hit,omitempty"`
 	// DoneNs is the virtual completion time.
 	DoneNs int64 `json:"done_ns,omitempty"`
 	// Error carries a terminal condition (timeout, shutdown) when the
@@ -163,17 +214,30 @@ type inReq struct {
 	Total int    `json:"total"` // script length (replay mode)
 }
 
-// pipeline is one svclb pool plus its frontend-side bookkeeping. All
-// fields are sim-thread state.
+// pipeline is one backing pool plus its frontend-side bookkeeping —
+// either an svclb pool (svc) or the on-fabric KV cache (kv); exactly one
+// is non-nil. All fields are sim-thread state.
 type pipeline struct {
-	name string
-	cfg  PipelineConfig
-	svc  *svclb.Service
-	rng  *rand.Rand // per-request service-time draws (own stream)
-	next int        // round-robin ingress client cursor
+	name  string
+	cfg   PipelineConfig
+	svc   *svclb.Service
+	kv    *kvcache.Service
+	kvCfg KVConfig
+	rng   *rand.Rand // per-request service-time draws (own stream)
+	next  int        // round-robin ingress client cursor
 
 	ingress, shed, completed metrics.Counter
 	latency                  *metrics.Histogram
+}
+
+// stop halts whichever pool backs the pipeline.
+func (pl *pipeline) stop() {
+	if pl.svc != nil {
+		pl.svc.Stop()
+	}
+	if pl.kv != nil {
+		pl.kv.Stop()
+	}
 }
 
 // Service is one frontend instance. Construction, injection, and all
@@ -259,6 +323,23 @@ func New(cfg Config) *Service {
 		f.order = append(f.order, p.name)
 		f.registerPipelineMetrics(pl)
 	}
+	if cfg.KV.Enabled {
+		kc := cfg.KV.withDefaults()
+		kcfg := kvcache.DefaultConfig()
+		kcfg.Seed = cfg.Seed
+		kcfg.Clients = kc.Clients
+		kcfg.Shards = kc.Shards
+		kcfg.Spares = kc.Spares
+		kcfg.Keys = kc.Keys
+		kcfg.KeyBytes = kc.KeyBytes
+		kcfg.ValBytes = kc.ValBytes
+		kcfg.Timeout = kc.Timeout
+		ksv := kvcache.NewServiceOn(s, dc, shells, base, kcfg)
+		pl := &pipeline{name: "kv", kv: ksv, kvCfg: kc, latency: metrics.NewHistogram()}
+		f.pipes["kv"] = pl
+		f.order = append(f.order, "kv")
+		f.registerPipelineMetrics(pl)
+	}
 	if reg := obs.RegistryOf(s); reg != nil {
 		reg.Gauge("frontend.lag", "ns", "frontend",
 			"virtual time behind the paced wall clock at injection", &f.lag)
@@ -337,6 +418,10 @@ func (pl *pipeline) serviceTimeFor() sim.Time {
 // admission. The responder fires exactly once — synchronously for sheds,
 // at virtual completion for admitted requests.
 func (f *Service) inject(pl *pipeline, seq uint64, lag sim.Time, respond func(Resp)) {
+	if pl.kv != nil {
+		f.injectKV(pl, seq, lag, respond)
+		return
+	}
 	pl.ingress.Inc()
 	f.lag.Set(int64(lag))
 	svcT := pl.serviceTimeFor()
@@ -371,6 +456,46 @@ func (f *Service) inject(pl *pipeline, seq uint64, lag sim.Time, respond func(Re
 		f.tracer.SetArg(span, int64(seq))
 	}
 	f.inflight[tok] = respond
+}
+
+// injectKV runs one scripted request against the KV pipeline. The seq
+// number deterministically selects the operation and key, so replay
+// digests are connection-order-independent exactly like the svclb
+// pipelines'. A timeout answers as not-admitted (HTTP 503): the cache
+// never owes an answer, only speed.
+func (f *Service) injectKV(pl *pipeline, seq uint64, lag sim.Time, respond func(Resp)) {
+	pl.ingress.Inc()
+	f.lag.Set(int64(lag))
+	clients := pl.kv.Clients()
+	cl := clients[pl.next]
+	pl.next = (pl.next + 1) % len(clients)
+
+	tok := f.nextTok
+	f.nextTok++
+	f.inflight[tok] = respond
+	done := func(o kvcache.Outcome) {
+		delete(f.inflight, tok)
+		if o.TimedOut {
+			pl.shed.Inc()
+			respond(Resp{Seq: seq, Pipeline: pl.name, Admitted: false, DoneNs: int64(f.s.Now())})
+			return
+		}
+		pl.completed.Inc()
+		pl.latency.Observe(int64(o.Latency))
+		respond(Resp{
+			Seq: seq, Pipeline: pl.name, Admitted: true, Hit: o.Hit,
+			LatencyNs: int64(o.Latency), DoneNs: int64(f.s.Now()),
+		})
+	}
+	// Fibonacci-hash the seq so GETs and PUTs spray the keyspace rather
+	// than walking it in order.
+	idx := int(seq * 2654435761 % uint64(pl.kvCfg.Keys))
+	key := kvcache.MakeKey(idx, pl.kvCfg.KeyBytes)
+	if seq%uint64(pl.kvCfg.PutEvery) == 0 {
+		cl.Put(key, kvcache.MakeVal(idx, pl.kvCfg.ValBytes), done)
+	} else {
+		cl.Get(key, done)
+	}
 }
 
 // outstanding reports admitted-but-unanswered requests (sim thread).

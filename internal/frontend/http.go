@@ -12,6 +12,7 @@ const maxBody = 1 << 16
 //
 //	POST /v1/rank   {"seq":N,"at_ns":T,"total":M} -> Resp (503 when shed)
 //	POST /v1/dnn    same shape, DNN pipeline
+//	POST /v1/kv     same shape, on-fabric KV cache (404 unless enabled)
 //	GET  /v1/stats  Stats snapshot
 //	GET  /healthz   liveness
 //
@@ -22,6 +23,7 @@ func NewHandler(f *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/rank", f.handlePipeline("rank"))
 	mux.HandleFunc("POST /v1/dnn", f.handlePipeline("dnn"))
+	mux.HandleFunc("POST /v1/kv", f.handlePipeline("kv"))
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, f.Stats())
 	})

@@ -132,7 +132,7 @@ func (d *rtDriver) shutdown() {
 				d.f.abandon("shutdown drain exhausted")
 			}
 			for _, name := range d.f.order {
-				d.f.pipes[name].svc.Stop()
+				d.f.pipes[name].stop()
 			}
 			return
 		}

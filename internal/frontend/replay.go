@@ -82,7 +82,7 @@ func (d *replayDriver) run() {
 		f.abandon("replay drain exhausted")
 	}
 	for _, name := range f.order {
-		f.pipes[name].svc.Stop()
+		f.pipes[name].stop()
 	}
 }
 
@@ -105,7 +105,7 @@ func (d *replayDriver) close() {
 		}
 		d.buf = nil
 		for _, name := range d.f.order {
-			d.f.pipes[name].svc.Stop()
+			d.f.pipes[name].stop()
 		}
 	}
 }

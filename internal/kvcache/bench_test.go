@@ -1,0 +1,61 @@
+package kvcache
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/sim"
+)
+
+// BenchmarkWireDecode measures the request decode the shard pipeline
+// runs per datagram.
+func BenchmarkKVWireDecode(b *testing.B) {
+	buf := EncodeReq(Req{Op: OpPut, ID: 42, Key: MakeKey(7, 16), Val: MakeVal(7, 128)})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeReq(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreGet measures the directory probe + DRAM fetch per hit.
+func BenchmarkKVStoreGet(b *testing.B) {
+	s := sim.New(1)
+	st := NewStore(s, dram.New(s, dram.DefaultConfig()), DefaultStoreConfig())
+	key, val := MakeKey(1, 16), MakeVal(1, 128)
+	st.Put(key, val, func(ok, _ bool) {
+		if !ok {
+			b.Fatal("seed put failed")
+		}
+	})
+	s.RunUntil(sim.Millisecond)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Get(key, func(hit bool, _ []byte) {
+			if !hit {
+				b.Fatal("seeded key missed")
+			}
+		})
+		s.RunUntil(s.Now() + 10*sim.Microsecond)
+	}
+}
+
+// BenchmarkServiceRun measures a full small deployment end to end:
+// simulated requests per wall-clock second across clients, ER, LTL
+// datagrams, shard stores, and DRAM.
+func BenchmarkKVServiceRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig()
+		cfg.Seed = int64(i + 1)
+		cfg.Clients = 4
+		cfg.Shards = 2
+		cfg.Spares = 0
+		cfg.Duration = 4 * sim.Millisecond
+		cfg.Drain = 2 * sim.Millisecond
+		r := Run(cfg)
+		if r.Completed == 0 {
+			b.Fatal("no completions")
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package kvcache
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeReq asserts the shard-side decoder never panics and that
+// every accepted request re-encodes to an equivalent message.
+func FuzzDecodeReq(f *testing.F) {
+	f.Add(EncodeReq(Req{Op: OpGet, ID: 1, Key: []byte("key")}))
+	f.Add(EncodeReq(Req{Op: OpPut, ID: 2, Key: []byte("key"), Val: []byte("value")}))
+	f.Add(EncodeReq(Req{Op: OpPut, ID: 3, Key: bytes.Repeat([]byte{1}, MaxKeyBytes), Val: bytes.Repeat([]byte{2}, MaxValBytes)}))
+	f.Add([]byte{})
+	f.Add([]byte{OpGet, 0, 0, 0, 0, 0, 0, 0, 1, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeReq(data)
+		if err != nil {
+			return
+		}
+		if len(r.Key) == 0 || len(r.Key) > MaxKeyBytes || len(r.Val) > MaxValBytes {
+			t.Fatalf("accepted out-of-bounds request: %d key, %d val", len(r.Key), len(r.Val))
+		}
+		r2, err := DecodeReq(EncodeReq(r))
+		if err != nil {
+			t.Fatalf("re-decode of accepted request failed: %v", err)
+		}
+		if r2.Op != r.Op || r2.ID != r.ID || !bytes.Equal(r2.Key, r.Key) || !bytes.Equal(r2.Val, r.Val) {
+			t.Fatalf("re-encode mismatch: %+v vs %+v", r2, r)
+		}
+	})
+}
+
+// FuzzDecodeResp mirrors FuzzDecodeReq for the client-side decoder.
+func FuzzDecodeResp(f *testing.F) {
+	f.Add(EncodeResp(Resp{Op: RespHit, ID: 1, Val: []byte("value")}))
+	f.Add(EncodeResp(Resp{Op: RespMiss, ID: 2}))
+	f.Add(EncodeResp(Resp{Op: RespError, ID: 3}))
+	f.Add([]byte{RespHit, 0, 0, 0, 0, 0, 0, 0, 1, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeResp(data)
+		if err != nil {
+			return
+		}
+		if len(r.Val) > MaxValBytes {
+			t.Fatalf("accepted oversized value: %d", len(r.Val))
+		}
+		r2, err := DecodeResp(EncodeResp(r))
+		if err != nil {
+			t.Fatalf("re-decode of accepted response failed: %v", err)
+		}
+		if r2.Op != r.Op || r2.ID != r.ID || !bytes.Equal(r2.Val, r.Val) {
+			t.Fatalf("re-encode mismatch: %+v vs %+v", r2, r)
+		}
+	})
+}

@@ -1,0 +1,721 @@
+// Package kvcache is a line-rate key-value cache terminated on the FPGA
+// (paper §III: the accelerator sits between the NIC and the TOR, so
+// network services can be served without the host; Beehive hosts exactly
+// this service class on a direct-attached accelerator network stack).
+//
+// GET/PUT requests travel as connection-less LTL service datagrams
+// (internal/ltl/service.go) to a keyspace-sharded pool of HaaS-leased
+// FPGAs. Each shard holds a set-associative tag directory in role SRAM
+// and its key/value payloads in board DRAM (internal/dram), crossed
+// through the Elastic Router's DRAM port. Replies are generated entirely
+// on-fabric: a GET hit costs the ER hop, a DRAM read, and the return
+// datagram — the server's CPU never sees the request, which is the
+// paper's line-rate argument and what Result.OnFabric witnesses
+// (shard-side PCIe counters must stay zero).
+//
+// Loss tolerance is memcached-over-UDP's: datagrams are best-effort, so
+// clients time requests out and count it; nothing retransmits below the
+// service. Shard failure is cache failure — the lease is replaced, the
+// replacement starts cold, and in-flight requests to the dead shard
+// surface as timeouts.
+package kvcache
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/faultinject"
+	"repro/internal/haas"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/pkt"
+	"repro/internal/shell"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// shardImage names the role bitstream a lease loads.
+const shardImage = "kvcache-shard-v1"
+
+// Config parameterizes a KV cache service and its measurement run.
+type Config struct {
+	Seed int64
+	// Clients is the number of ingress client hosts.
+	Clients int
+	// Shards is the number of leased shard FPGAs the keyspace hashes
+	// across; Spares stay registered with HaaS for failover.
+	Shards, Spares int
+
+	// Workload shape: Keys in the keyspace, fixed key/value sizes, Zipf
+	// skew (>1 selects rand.Zipf with that s; else uniform), the GET
+	// fraction, and each client's open-loop request rate per second.
+	Keys        int
+	KeyBytes    int
+	ValBytes    int
+	Zipf        float64
+	GetFraction float64
+	ClientRate  float64
+
+	// Duration generates load; the run then drains for Drain before
+	// snapshotting. Timeout is the client-side datagram-loss timeout.
+	Duration sim.Time
+	Drain    sim.Time
+	Timeout  sim.Time
+
+	// RMPoll is the HaaS health-poll interval.
+	RMPoll sim.Time
+	// Store sizes each shard's directory and DRAM arena.
+	Store StoreConfig
+
+	// FaultProfile optionally names a faultinject profile applied to the
+	// shard pool's links and boards (incast, pfcstorm, ...).
+	FaultProfile string
+	// BackgroundLoad is other tenants' fabric noise (standalone Run only).
+	BackgroundLoad float64
+
+	Telemetry bool
+	SpanLimit int
+}
+
+// DefaultConfig returns a small-but-honest service: 8 client hosts
+// driving 4 shards (2 spares) over the shared fabric.
+func DefaultConfig() Config {
+	return Config{
+		Clients: 8, Shards: 4, Spares: 2,
+		Keys: 2048, KeyBytes: 16, ValBytes: 128,
+		GetFraction: 0.9, ClientRate: 20000,
+		Duration: 10 * sim.Millisecond,
+		Drain:    4 * sim.Millisecond,
+		Timeout:  2 * sim.Millisecond,
+		RMPoll:   5 * sim.Millisecond,
+		Store:    DefaultStoreConfig(),
+	}
+}
+
+func (cfg Config) withDefaults() Config {
+	d := DefaultConfig()
+	if cfg.Clients <= 0 {
+		cfg.Clients = d.Clients
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = d.Shards
+	}
+	if cfg.Spares < 0 {
+		cfg.Spares = 0
+	}
+	if cfg.Keys <= 0 {
+		cfg.Keys = d.Keys
+	}
+	if cfg.KeyBytes <= 0 {
+		cfg.KeyBytes = d.KeyBytes
+	}
+	if cfg.KeyBytes < 8 {
+		cfg.KeyBytes = 8
+	}
+	if cfg.ValBytes <= 0 {
+		cfg.ValBytes = d.ValBytes
+	}
+	if cfg.GetFraction <= 0 {
+		cfg.GetFraction = d.GetFraction
+	}
+	if cfg.ClientRate <= 0 {
+		cfg.ClientRate = d.ClientRate
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = d.Duration
+	}
+	if cfg.Drain <= 0 {
+		cfg.Drain = d.Drain
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = d.Timeout
+	}
+	if cfg.RMPoll <= 0 {
+		cfg.RMPoll = d.RMPoll
+	}
+	if cfg.Store.Sets <= 0 {
+		cfg.Store = d.Store
+	}
+	return cfg
+}
+
+// Outcome is one request's completion as the client saw it.
+type Outcome struct {
+	Hit      bool // GET answered RespHit
+	Ok       bool // any reply arrived (hit, miss, put-ack)
+	TimedOut bool
+	Val      []byte
+	Latency  sim.Time
+}
+
+// kvCall is one in-flight client request.
+type kvCall struct {
+	op     byte
+	sentAt sim.Time
+	timer  *sim.Event
+	span   obs.SpanID
+	done   func(Outcome)
+}
+
+// ClientStats aggregates one client end's counters (registered under
+// kvcache.* so instances sum in the registry).
+type ClientStats struct {
+	Gets, Puts  metrics.Counter
+	Hits        metrics.Counter
+	Misses      metrics.Counter
+	PutAcks     metrics.Counter
+	Timeouts    metrics.Counter
+	LateReplies metrics.Counter // reply after the timeout already charged
+	Errors      metrics.Counter // RespError or undecodable reply
+	Latency     *metrics.Histogram
+}
+
+// Client is one host's KV client end: it serializes requests, hashes
+// keys to shards, sends service datagrams, and matches replies (or
+// timeouts) back to callers. One Client per ingress host.
+type Client struct {
+	s       *sim.Simulation
+	sh      *shell.Shell
+	host    int
+	timeout sim.Time
+	// lookup maps a key hash to the current shard host (indirect so
+	// failover rewires every client at once).
+	lookup  func(hash uint64) int
+	pending map[uint64]*kvCall
+	nextSeq uint64
+	tracer  *obs.Tracer
+	digest  uint64
+
+	Stats ClientStats
+}
+
+// NewClient builds a client end on sh and installs its reply handler.
+func NewClient(s *sim.Simulation, sh *shell.Shell, timeout sim.Time, lookup func(hash uint64) int) *Client {
+	c := &Client{
+		s: s, sh: sh, host: sh.HostID(), timeout: timeout, lookup: lookup,
+		pending: make(map[uint64]*kvCall),
+		tracer:  obs.TracerOf(s),
+		digest:  14695981039346656037,
+		Stats:   ClientStats{Latency: metrics.NewHistogram()},
+	}
+	if reg := obs.RegistryOf(s); reg != nil {
+		reg.Counter("kvcache.gets", "reqs", "kvcache", "GET requests issued", &c.Stats.Gets)
+		reg.Counter("kvcache.puts", "reqs", "kvcache", "PUT requests issued", &c.Stats.Puts)
+		reg.Counter("kvcache.hits", "reqs", "kvcache", "GETs answered with the value", &c.Stats.Hits)
+		reg.Counter("kvcache.misses", "reqs", "kvcache", "GETs answered absent", &c.Stats.Misses)
+		reg.Counter("kvcache.put_acks", "reqs", "kvcache", "PUTs acknowledged", &c.Stats.PutAcks)
+		reg.Counter("kvcache.timeouts", "reqs", "kvcache", "requests with no reply in time", &c.Stats.Timeouts)
+		reg.Counter("kvcache.late_replies", "reqs", "kvcache", "replies after the timeout fired", &c.Stats.LateReplies)
+		reg.Counter("kvcache.errors", "reqs", "kvcache", "error or undecodable replies", &c.Stats.Errors)
+		reg.Histogram("kvcache.latency", "ns", "kvcache", "client-observed request latency", c.Stats.Latency)
+	}
+	must(sh.SetServiceHandler(c.onDatagram))
+	return c
+}
+
+// Get looks key up on its shard. done (optional) fires exactly once.
+func (c *Client) Get(key []byte, done func(Outcome)) {
+	c.Stats.Gets.Inc()
+	c.send(Req{Op: OpGet, Key: key}, done)
+}
+
+// Put stores key=val on its shard. done (optional) fires exactly once.
+func (c *Client) Put(key, val []byte, done func(Outcome)) {
+	c.Stats.Puts.Inc()
+	c.send(Req{Op: OpPut, Key: key, Val: val}, done)
+}
+
+func (c *Client) send(r Req, done func(Outcome)) {
+	c.nextSeq++
+	r.ID = uint64(c.host)<<32 | c.nextSeq
+	call := &kvCall{op: r.Op, sentAt: c.s.Now(), done: done}
+	if c.tracer != nil {
+		call.span = c.tracer.Start(obs.ReqFlow(r.ID), "kvcache.request", 0)
+	}
+	c.pending[r.ID] = call
+	id := r.ID
+	call.timer = c.s.Schedule(c.timeout, func() { c.expire(id) })
+	must(c.sh.SendDatagram(c.lookup(keyHash(r.Key)), KindReq, EncodeReq(r)))
+}
+
+func (c *Client) expire(id uint64) {
+	call, ok := c.pending[id]
+	if !ok {
+		return
+	}
+	delete(c.pending, id)
+	c.Stats.Timeouts.Inc()
+	c.endSpan(call)
+	c.fold(id, 0x7F) // timeout marker, distinct from every Resp op
+	if call.done != nil {
+		call.done(Outcome{TimedOut: true, Latency: c.timeout})
+	}
+}
+
+func (c *Client) onDatagram(from int, kind uint8, payload []byte) {
+	if kind != KindResp {
+		return
+	}
+	resp, err := DecodeResp(payload)
+	if err != nil {
+		c.Stats.Errors.Inc()
+		return
+	}
+	call, ok := c.pending[resp.ID]
+	if !ok {
+		c.Stats.LateReplies.Inc()
+		return
+	}
+	delete(c.pending, resp.ID)
+	c.s.Cancel(call.timer)
+	lat := c.s.Now() - call.sentAt
+	c.Stats.Latency.Observe(int64(lat))
+	c.endSpan(call)
+
+	out := Outcome{Ok: true, Latency: lat}
+	switch resp.Op {
+	case RespHit:
+		c.Stats.Hits.Inc()
+		out.Hit, out.Val = true, resp.Val
+	case RespMiss:
+		c.Stats.Misses.Inc()
+	case RespPut:
+		c.Stats.PutAcks.Inc()
+	default:
+		c.Stats.Errors.Inc()
+		out.Ok = false
+	}
+	c.fold(resp.ID, uint64(resp.Op))
+	c.fold(resp.ID, uint64(lat))
+	if call.done != nil {
+		call.done(out)
+	}
+}
+
+func (c *Client) endSpan(call *kvCall) {
+	if c.tracer != nil {
+		c.tracer.End(call.span)
+	}
+}
+
+// fold mixes one completion into the client's FNV digest. Completions on
+// one client are totally ordered by the simulation, so the digest is a
+// replay-determinism witness per client end.
+func (c *Client) fold(vs ...uint64) {
+	for _, v := range vs {
+		for i := 0; i < 64; i += 8 {
+			c.digest ^= (v >> i) & 0xff
+			c.digest *= 1099511628211
+		}
+	}
+}
+
+// Digest returns the client's completion digest.
+func (c *Client) Digest() uint64 { return c.digest }
+
+// Pending reports in-flight requests (drain diagnostics).
+func (c *Client) Pending() int { return len(c.pending) }
+
+// Shard is the FPGA-resident shard role: it terminates request datagrams
+// on the service VC, probes the store, and generates the reply datagram —
+// all without the host.
+type Shard struct {
+	s  *sim.Simulation
+	sh *shell.Shell
+	// Store is the shard's directory + DRAM arena.
+	Store  *Store
+	tracer *obs.Tracer
+
+	// Replies counts reply datagrams generated on-fabric; DecodeErrors
+	// counts dropped undecodable requests.
+	Replies      metrics.Counter
+	DecodeErrors metrics.Counter
+}
+
+// shardRole marks the role slot occupied (health, reconfiguration). The
+// request path never goes through HandleRequest — that is the point.
+type shardRole struct{}
+
+func (shardRole) Name() string { return "kvcache-shard" }
+func (shardRole) HandleRequest(_ shell.RequestSource, _ []byte, respond func([]byte)) {
+	respond(nil) // no host-facing request surface
+}
+
+// AttachShard loads the shard role onto sh and wires the store to the
+// shell's service-datagram plane.
+func AttachShard(s *sim.Simulation, sh *shell.Shell, st *Store) *Shard {
+	d := &Shard{s: s, sh: sh, Store: st, tracer: obs.TracerOf(s)}
+	if reg := obs.RegistryOf(s); reg != nil {
+		reg.Counter("kvcache.fabric_replies", "dgrams", "kvcache", "replies generated on-fabric (no host round-trip)", &d.Replies)
+		reg.Counter("kvcache.decode_errors", "reqs", "kvcache", "undecodable request datagrams dropped", &d.DecodeErrors)
+	}
+	sh.LoadRole(shardRole{})
+	must(sh.SetServiceHandler(d.onDatagram))
+	return d
+}
+
+func (d *Shard) onDatagram(from int, kind uint8, payload []byte) {
+	if kind != KindReq {
+		return
+	}
+	req, err := DecodeReq(payload)
+	if err != nil {
+		d.DecodeErrors.Inc()
+		return
+	}
+	var span obs.SpanID
+	if d.tracer != nil {
+		span = d.tracer.Start(obs.ReqFlow(req.ID), "kvcache.shard", 0)
+	}
+	id := req.ID
+	reply := func(resp Resp) {
+		resp.ID = id
+		d.Replies.Inc()
+		if d.tracer != nil {
+			d.tracer.End(span)
+		}
+		must(d.sh.SendDatagram(from, KindResp, EncodeResp(resp)))
+	}
+	switch req.Op {
+	case OpGet:
+		d.Store.Get(req.Key, func(hit bool, val []byte) {
+			if hit {
+				reply(Resp{Op: RespHit, Val: val})
+			} else {
+				reply(Resp{Op: RespMiss})
+			}
+		})
+	case OpPut:
+		d.Store.Put(req.Key, req.Val, func(ok bool, _ bool) {
+			if ok {
+				reply(Resp{Op: RespPut})
+			} else {
+				reply(Resp{Op: RespError})
+			}
+		})
+	}
+}
+
+// Service is a deployed KV cache: client ends, a HaaS-leased shard pool,
+// and the failover plumbing between them.
+type Service struct {
+	s   *sim.Simulation
+	dc  *netsim.Datacenter
+	cfg Config
+
+	shells  map[int]*shell.Shell
+	clients []*Client
+	// shardHosts[i] is the host currently serving keyspace slice i.
+	shardHosts []int
+	// shards maps pool host -> its Shard (built at lease configure).
+	shards map[int]*Shard
+
+	rm *haas.ResourceManager
+	in *faultinject.Injector
+
+	hostEnd     int
+	hostsPerTOR int
+	obsCtx      *obs.Context
+	stopFaults  func()
+
+	Failovers metrics.Counter
+}
+
+// NewService builds a standalone service on its own simulation and
+// datacenter (cf. svclb.NewService).
+func NewService(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := sim.New(cfg.Seed)
+	var ctx *obs.Context
+	if cfg.Telemetry {
+		// Must precede component construction: shells, stores, and
+		// tracers cache the context when built.
+		ctx = obs.Enable(s)
+		if cfg.SpanLimit > 0 {
+			ctx.Tracer.SetLimit(cfg.SpanLimit)
+		}
+	}
+	dcCfg := netsim.DefaultConfig()
+	shells := map[int]*shell.Shell{}
+	dcCfg.Interposer = func(dc *netsim.Datacenter, hostID int) netsim.Interposer {
+		sh := shell.New(dc.Sim, hostID, netsim.DefaultPortConfig(), shell.DefaultConfig())
+		shells[hostID] = sh
+		return sh
+	}
+	dc := netsim.NewDatacenter(s, dcCfg)
+	sv := NewServiceOn(s, dc, shells, 0, cfg)
+	sv.obsCtx = ctx
+	dc.StartBackgroundLoad(cfg.BackgroundLoad, pkt.ClassRDMA, 1400)
+	return sv
+}
+
+// NewServiceOn deploys the service on an existing simulation/datacenter
+// starting at hostBase: clients first, then (TOR-aligned) the shard pool,
+// so requests cross the L1 tier like a real disaggregated cache's.
+func NewServiceOn(s *sim.Simulation, dc *netsim.Datacenter, shells map[int]*shell.Shell, hostBase int, cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	dcCfg := dc.Config()
+	sv := &Service{
+		s: s, dc: dc, cfg: cfg, shells: shells,
+		shardHosts:  make([]int, cfg.Shards),
+		shards:      map[int]*Shard{},
+		hostsPerTOR: dcCfg.HostsPerTOR,
+	}
+	if reg := obs.RegistryOf(s); reg != nil {
+		reg.Counter("kvcache.failovers", "leases", "kvcache", "shard leases replaced after failure", &sv.Failovers)
+	}
+
+	lookup := func(hash uint64) int {
+		return sv.shardHosts[int(hash%uint64(len(sv.shardHosts)))]
+	}
+	for i := 0; i < cfg.Clients; i++ {
+		dc.Host(hostBase + i)
+		sv.clients = append(sv.clients, NewClient(s, shells[hostBase+i], cfg.Timeout, lookup))
+	}
+
+	base := hostBase + ((cfg.Clients+dcCfg.HostsPerTOR-1)/dcCfg.HostsPerTOR)*dcCfg.HostsPerTOR
+	poolSize := cfg.Shards + cfg.Spares
+	poolHosts := make([]int, poolSize)
+	for i := range poolHosts {
+		poolHosts[i] = base + i
+		dc.Host(base + i)
+	}
+	sv.hostEnd = base + poolSize
+
+	sv.rm = haas.NewResourceManager(s, haas.RMConfig{
+		HealthPollInterval: cfg.RMPoll,
+		PodOf:              func(id haas.NodeID) int { p, _, _ := dc.Locate(int(id)); return p },
+	})
+	sv.in = faultinject.New(s)
+	for _, h := range poolHosts {
+		h := h
+		sv.in.AddNode(h, shells[h])
+		sv.rm.Register(&haas.FPGAManager{
+			Node: haas.NodeID(h),
+			Configure: func(string) {
+				st := NewStore(s, shells[h].DRAM, cfg.Store)
+				sv.shards[h] = AttachShard(s, shells[h], st)
+			},
+			Healthy: func() bool { return sv.in.NodeAlive(h) },
+			Depth:   func() int { return 0 },
+		})
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		if err := sv.lease(i); err != nil {
+			panic(fmt.Sprintf("kvcache: initial lease: %v", err))
+		}
+	}
+	if cfg.FaultProfile != "" {
+		p, err := faultinject.ByName(cfg.FaultProfile)
+		if err != nil {
+			panic(fmt.Sprintf("kvcache: %v", err))
+		}
+		sv.stopFaults = sv.in.Start(p)
+	}
+	return sv
+}
+
+// lease acquires (or replaces) the shard serving keyspace slice i.
+func (sv *Service) lease(i int) error {
+	comp, err := sv.rm.Lease("kvcache", shardImage, haas.Constraints{Count: 1, Pod: -1},
+		func(haas.NodeID) { sv.failover(i) })
+	if err != nil {
+		return err
+	}
+	sv.shardHosts[i] = int(comp.Nodes[0])
+	return nil
+}
+
+// failover replaces a dead shard's lease. The replacement starts cold
+// (cache semantics: loss costs hit rate, not correctness); requests in
+// flight to the dead host surface as client timeouts.
+func (sv *Service) failover(i int) {
+	sv.Failovers.Inc()
+	if err := sv.lease(i); err != nil {
+		// No spare available: keep routing at the dead host; requests
+		// time out until the pool recovers.
+		return
+	}
+}
+
+// Sim returns the simulation the service runs on.
+func (sv *Service) Sim() *sim.Simulation { return sv.s }
+
+// Clients returns the client ends (index-addressable ingress points).
+func (sv *Service) Clients() []*Client { return sv.clients }
+
+// ShardHosts returns the current keyspace slice -> host table.
+func (sv *Service) ShardHosts() []int { return append([]int(nil), sv.shardHosts...) }
+
+// NextHostBase returns the first TOR-aligned host id past this service.
+func (sv *Service) NextHostBase() int {
+	return ((sv.hostEnd + sv.hostsPerTOR - 1) / sv.hostsPerTOR) * sv.hostsPerTOR
+}
+
+// Stop releases control-plane resources (HaaS polling, fault storms).
+func (sv *Service) Stop() {
+	sv.rm.Stop()
+	if sv.stopFaults != nil {
+		sv.stopFaults()
+	}
+}
+
+// Telemetry collects the service's observability record (nil unless the
+// service was built with Telemetry).
+func (sv *Service) Telemetry(point string) *obs.Record {
+	if sv.obsCtx == nil {
+		return nil
+	}
+	return obs.Collect(sv.obsCtx, "netsvc", point)
+}
+
+// Result is one measurement of the service.
+type Result struct {
+	Offered   uint64 // requests issued
+	Completed uint64 // requests answered
+	Gets      uint64
+	Puts      uint64
+	Hits      uint64
+	Misses    uint64
+	Timeouts  uint64
+	HitRate   float64 // hits / (hits + misses)
+
+	P50, P99 sim.Time
+
+	Evictions uint64
+	Rejected  uint64 // DRAM-pressure rejections at the stores
+
+	// FabricReplies counts shard replies generated on-fabric, and
+	// HostRoundTrips the PCIe requests observed at shard shells over the
+	// same window. OnFabric is the §III witness: replies happened and the
+	// host path stayed silent.
+	FabricReplies  uint64
+	HostRoundTrips uint64
+	OnFabric       bool
+
+	Failovers uint64
+	// Digest folds every client's completion stream in client order —
+	// the replay-determinism witness.
+	Digest uint64
+
+	Record *obs.Record
+}
+
+// Result snapshots the service. Aggregation walks clients, then shard
+// slots, in fixed construction order, so the digest and counters are
+// independent of any scheduling freedom the run had.
+func (sv *Service) Result() Result {
+	var r Result
+	r.Digest = 14695981039346656037
+	lat := metrics.NewHistogram()
+	for _, c := range sv.clients {
+		r.Gets += c.Stats.Gets.Value()
+		r.Puts += c.Stats.Puts.Value()
+		r.Hits += c.Stats.Hits.Value()
+		r.Misses += c.Stats.Misses.Value()
+		r.Timeouts += c.Stats.Timeouts.Value()
+		r.Completed += c.Stats.Hits.Value() + c.Stats.Misses.Value() + c.Stats.PutAcks.Value()
+		lat.Merge(c.Stats.Latency)
+		for i := 0; i < 64; i += 8 {
+			r.Digest ^= (c.Digest() >> i) & 0xff
+			r.Digest *= 1099511628211
+		}
+	}
+	r.Offered = r.Gets + r.Puts
+	if n := r.Hits + r.Misses; n > 0 {
+		r.HitRate = float64(r.Hits) / float64(n)
+	}
+	if lat.Count() > 0 {
+		r.P50 = sim.Time(lat.Quantile(0.50))
+		r.P99 = sim.Time(lat.Quantile(0.99))
+	}
+	// Shard-side truth, walked in pool-host order (sorted by id via the
+	// shard slot table plus spares never being attached twice).
+	seen := map[int]bool{}
+	for _, h := range sv.shardHosts {
+		if seen[h] {
+			continue
+		}
+		seen[h] = true
+		if d := sv.shards[h]; d != nil {
+			r.Evictions += d.Store.Stats.Evictions.Value()
+			r.Rejected += d.Store.Stats.Rejected.Value()
+			r.FabricReplies += d.Replies.Value()
+			r.HostRoundTrips += sv.shells[h].Stats.PCIeReqs.Value()
+		}
+	}
+	r.OnFabric = r.FabricReplies > 0 && r.HostRoundTrips == 0
+	r.Failovers = sv.Failovers.Value()
+	return r
+}
+
+// Run executes one standalone measurement: open-loop clients drawing the
+// configured key distribution for Duration, a drain window for in-flight
+// requests and timeouts, then the snapshot.
+func Run(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	sv := NewService(cfg)
+	s := sv.s
+
+	gens := make([]*workload.OpenLoop, len(sv.clients))
+	for ci, cl := range sv.clients {
+		cl := cl
+		rng := s.NewRand()
+		var zipf *rand.Zipf
+		if cfg.Zipf > 1 {
+			zipf = rand.NewZipf(rng, cfg.Zipf, 1, uint64(cfg.Keys-1))
+		}
+		gens[ci] = workload.NewOpenLoop(s, cfg.ClientRate, func() {
+			idx := 0
+			if zipf != nil {
+				idx = int(zipf.Uint64())
+			} else {
+				idx = rng.Intn(cfg.Keys)
+			}
+			key := MakeKey(idx, cfg.KeyBytes)
+			if rng.Float64() < cfg.GetFraction {
+				cl.Get(key, nil)
+			} else {
+				cl.Put(key, MakeVal(idx, cfg.ValBytes), nil)
+			}
+		})
+		gens[ci].Start()
+	}
+	s.ScheduleAt(cfg.Duration, func() {
+		for _, g := range gens {
+			g.Stop()
+		}
+	})
+	s.RunUntil(cfg.Duration + cfg.Drain)
+	sv.Stop()
+	res := sv.Result()
+	res.Record = sv.Telemetry(fmt.Sprintf("kv rate=%g zipf=%g", cfg.ClientRate, cfg.Zipf))
+	return res
+}
+
+// MakeKey derives the fixed-width key for keyspace index idx.
+func MakeKey(idx, keyBytes int) []byte {
+	key := make([]byte, keyBytes)
+	binary.BigEndian.PutUint64(key, uint64(idx))
+	for i := 8; i < keyBytes; i++ {
+		key[i] = 0xA5
+	}
+	return key
+}
+
+// MakeVal derives a deterministic value for keyspace index idx.
+func MakeVal(idx, valBytes int) []byte {
+	val := make([]byte, valBytes)
+	for i := range val {
+		val[i] = byte(idx + i)
+	}
+	return val
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,196 @@
+package kvcache
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// StoreConfig sizes one shard's cache: a set-associative tag directory
+// held in role SRAM, with key+value payloads in the board's DRAM channel
+// through the ER's DRAM port. The directory is arrays, not Go maps —
+// iteration order can never leak into the model, mirroring the fixed
+// comparator tree a hardware lookup would be.
+type StoreConfig struct {
+	// Sets x Ways is the directory geometry.
+	Sets, Ways int
+	// SlotBytes is the DRAM arena reserved per directory slot (key
+	// followed by value; an entry larger than this is rejected).
+	SlotBytes int
+	// Base is the DRAM byte address of slot 0.
+	Base int64
+}
+
+// DefaultStoreConfig sizes a shard at 1024 sets x 4 ways x 1 KiB slots —
+// a 4 MiB DRAM arena behind a 4K-entry SRAM directory.
+func DefaultStoreConfig() StoreConfig {
+	return StoreConfig{Sets: 1024, Ways: 4, SlotBytes: 1 << 10}
+}
+
+// StoreStats aggregates per-shard cache counters.
+type StoreStats struct {
+	Hits       metrics.Counter
+	Misses     metrics.Counter
+	Puts       metrics.Counter
+	Evictions  metrics.Counter // valid entry displaced by a Put
+	Collisions metrics.Counter // tag matched but DRAM key differed (hash alias)
+	Rejected   metrics.Counter // DRAM queue full: served as miss / dropped put
+}
+
+// tagEntry is one SRAM directory slot.
+type tagEntry struct {
+	used   bool
+	hash   uint64
+	keyLen uint16
+	valLen uint16
+	last   uint64 // LRU clock at last touch
+}
+
+// Store is one shard's DRAM-backed cache.
+type Store struct {
+	s    *sim.Simulation
+	mem  *dram.Controller
+	cfg  StoreConfig
+	tags []tagEntry
+	tick uint64
+
+	Stats StoreStats
+}
+
+// NewStore builds a store over mem. The arena [Base, Base+Sets*Ways*SlotBytes)
+// must fit the controller's capacity.
+func NewStore(s *sim.Simulation, mem *dram.Controller, cfg StoreConfig) *Store {
+	if cfg.Sets <= 0 || cfg.Ways <= 0 || cfg.SlotBytes <= 0 {
+		panic(fmt.Sprintf("kvcache: invalid store config %+v", cfg))
+	}
+	st := &Store{s: s, mem: mem, cfg: cfg, tags: make([]tagEntry, cfg.Sets*cfg.Ways)}
+	if reg := obs.RegistryOf(s); reg != nil {
+		reg.Counter("kvcache.store_hits", "reqs", "kvcache", "GETs answered from the cache", &st.Stats.Hits)
+		reg.Counter("kvcache.store_misses", "reqs", "kvcache", "GETs not present", &st.Stats.Misses)
+		reg.Counter("kvcache.store_puts", "reqs", "kvcache", "PUTs applied", &st.Stats.Puts)
+		reg.Counter("kvcache.store_evictions", "entries", "kvcache", "valid entries displaced by PUTs", &st.Stats.Evictions)
+		reg.Counter("kvcache.store_collisions", "reqs", "kvcache", "tag hits disproved by the DRAM key", &st.Stats.Collisions)
+		reg.Counter("kvcache.store_rejected", "reqs", "kvcache", "DRAM queue-full rejections", &st.Stats.Rejected)
+	}
+	return st
+}
+
+// Config returns the store geometry.
+func (st *Store) Config() StoreConfig { return st.cfg }
+
+func (st *Store) slotAddr(set, way int) int64 {
+	return st.cfg.Base + int64((set*st.cfg.Ways+way)*st.cfg.SlotBytes)
+}
+
+// Get looks key up: an SRAM directory probe, then (on a tag hit) a DRAM
+// read of the slot to fetch the value and disprove hash aliases. done
+// fires exactly once; hit=false covers absent keys, aliases, and DRAM
+// pressure rejections alike — a cache never owes an answer, only speed.
+func (st *Store) Get(key []byte, done func(hit bool, val []byte)) {
+	h := keyHash(key)
+	set := int(h % uint64(st.cfg.Sets))
+	st.tick++
+	for w := 0; w < st.cfg.Ways; w++ {
+		e := &st.tags[set*st.cfg.Ways+w]
+		if !e.used || e.hash != h || int(e.keyLen) != len(key) {
+			continue
+		}
+		e.last = st.tick
+		kl, vl := int(e.keyLen), int(e.valLen)
+		err := st.mem.Read(st.slotAddr(set, w), kl+vl, func(data []byte) {
+			if !bytesEqual(data[:kl], key) {
+				st.Stats.Collisions.Inc()
+				st.Stats.Misses.Inc()
+				done(false, nil)
+				return
+			}
+			st.Stats.Hits.Inc()
+			done(true, data[kl:kl+vl])
+		})
+		if err != nil {
+			st.Stats.Rejected.Inc()
+			st.Stats.Misses.Inc()
+			done(false, nil)
+		}
+		return
+	}
+	st.Stats.Misses.Inc()
+	done(false, nil)
+}
+
+// Put inserts or overwrites key. A full set evicts its least recently
+// used way. done fires exactly once with ok=false when the entry is too
+// large for a slot or the DRAM controller rejected the write (the entry
+// is then invalidated rather than left stale).
+func (st *Store) Put(key, val []byte, done func(ok bool, evicted bool)) {
+	if len(key)+len(val) > st.cfg.SlotBytes {
+		done(false, false)
+		return
+	}
+	h := keyHash(key)
+	set := int(h % uint64(st.cfg.Sets))
+	st.tick++
+
+	way, evicted := -1, false
+	// Overwrite an existing entry for the same hash/keyLen first.
+	for w := 0; w < st.cfg.Ways; w++ {
+		e := &st.tags[set*st.cfg.Ways+w]
+		if e.used && e.hash == h && int(e.keyLen) == len(key) {
+			way = w
+			break
+		}
+	}
+	if way < 0 { // then a free way
+		for w := 0; w < st.cfg.Ways; w++ {
+			if !st.tags[set*st.cfg.Ways+w].used {
+				way = w
+				break
+			}
+		}
+	}
+	if way < 0 { // else evict LRU
+		lru := uint64(1<<63 - 1)
+		for w := 0; w < st.cfg.Ways; w++ {
+			if e := &st.tags[set*st.cfg.Ways+w]; e.last < lru {
+				lru, way = e.last, w
+			}
+		}
+		evicted = true
+		st.Stats.Evictions.Inc()
+	}
+
+	e := &st.tags[set*st.cfg.Ways+way]
+	buf := make([]byte, len(key)+len(val))
+	copy(buf, key)
+	copy(buf[len(key):], val)
+	err := st.mem.Write(st.slotAddr(set, way), buf, func() {
+		st.Stats.Puts.Inc()
+		done(true, evicted)
+	})
+	if err != nil {
+		st.Stats.Rejected.Inc()
+		e.used = false // never leave a tag pointing at unwritten DRAM
+		done(false, evicted)
+		return
+	}
+	e.used = true
+	e.hash = h
+	e.keyLen = uint16(len(key))
+	e.valLen = uint16(len(val))
+	e.last = st.tick
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,128 @@
+package kvcache
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/sim"
+)
+
+func newTestStore(t *testing.T, cfg StoreConfig) (*sim.Simulation, *Store) {
+	t.Helper()
+	s := sim.New(1)
+	mem := dram.New(s, dram.DefaultConfig())
+	return s, NewStore(s, mem, cfg)
+}
+
+func TestStorePutGet(t *testing.T) {
+	s, st := newTestStore(t, DefaultStoreConfig())
+	key, val := []byte("hello"), []byte("world")
+
+	var putOK bool
+	st.Put(key, val, func(ok, evicted bool) { putOK = ok })
+	s.RunUntil(sim.Millisecond)
+	if !putOK {
+		t.Fatal("Put failed")
+	}
+
+	var hit bool
+	var got []byte
+	st.Get(key, func(h bool, v []byte) { hit = h; got = append([]byte(nil), v...) })
+	s.RunUntil(2 * sim.Millisecond)
+	if !hit || !bytes.Equal(got, val) {
+		t.Fatalf("Get: hit=%v val=%q, want hit=true val=%q", hit, got, val)
+	}
+	if st.Stats.Hits.Value() != 1 || st.Stats.Puts.Value() != 1 {
+		t.Fatalf("stats: %+v", st.Stats)
+	}
+}
+
+func TestStoreMissAbsent(t *testing.T) {
+	s, st := newTestStore(t, DefaultStoreConfig())
+	var called, hit bool
+	st.Get([]byte("nope"), func(h bool, _ []byte) { called, hit = true, h })
+	s.RunUntil(sim.Millisecond)
+	if !called || hit {
+		t.Fatalf("absent key: called=%v hit=%v", called, hit)
+	}
+	if st.Stats.Misses.Value() != 1 {
+		t.Fatalf("misses = %d, want 1", st.Stats.Misses.Value())
+	}
+}
+
+func TestStoreEvictsLRU(t *testing.T) {
+	// One set, two ways: the third distinct key must displace the least
+	// recently used of the first two.
+	cfg := StoreConfig{Sets: 1, Ways: 2, SlotBytes: 64}
+	s, st := newTestStore(t, cfg)
+
+	put := func(k, v string) {
+		st.Put([]byte(k), []byte(v), func(ok, _ bool) {
+			if !ok {
+				t.Fatalf("Put(%q) failed", k)
+			}
+		})
+		s.RunUntil(s.Now() + sim.Millisecond)
+	}
+	get := func(k string) bool {
+		var hit bool
+		st.Get([]byte(k), func(h bool, _ []byte) { hit = h })
+		s.RunUntil(s.Now() + sim.Millisecond)
+		return hit
+	}
+
+	put("a", "1")
+	put("b", "2")
+	if !get("a") { // touch a so b is LRU
+		t.Fatal("a should hit before eviction")
+	}
+	put("c", "3") // evicts b
+	if st.Stats.Evictions.Value() != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Stats.Evictions.Value())
+	}
+	if get("b") {
+		t.Fatal("b should have been evicted")
+	}
+	if !get("a") || !get("c") {
+		t.Fatal("a and c should both be resident")
+	}
+}
+
+func TestStoreRejectsOversized(t *testing.T) {
+	cfg := StoreConfig{Sets: 4, Ways: 2, SlotBytes: 16}
+	s, st := newTestStore(t, cfg)
+	var called, ok bool
+	st.Put([]byte("key"), make([]byte, 32), func(o, _ bool) { called, ok = true, o })
+	s.RunUntil(sim.Millisecond)
+	if !called || ok {
+		t.Fatalf("oversized put: called=%v ok=%v, want called=true ok=false", called, ok)
+	}
+}
+
+func TestStoreCollisionDisprovedByDRAM(t *testing.T) {
+	// Force a tag alias: write entry, then corrupt its tag hash to match a
+	// different key of the same length. The DRAM key compare must turn the
+	// false tag hit into a miss and count the collision.
+	cfg := StoreConfig{Sets: 1, Ways: 1, SlotBytes: 64}
+	s, st := newTestStore(t, cfg)
+	st.Put([]byte("aaaa"), []byte("v"), func(ok, _ bool) {
+		if !ok {
+			t.Fatal("Put failed")
+		}
+	})
+	s.RunUntil(sim.Millisecond)
+
+	alias := []byte("bbbb")
+	st.tags[0].hash = keyHash(alias)
+
+	var hit bool
+	st.Get(alias, func(h bool, _ []byte) { hit = h })
+	s.RunUntil(2 * sim.Millisecond)
+	if hit {
+		t.Fatal("alias must not hit")
+	}
+	if st.Stats.Collisions.Value() != 1 {
+		t.Fatalf("collisions = %d, want 1", st.Stats.Collisions.Value())
+	}
+}

@@ -1,0 +1,158 @@
+package kvcache
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Service-datagram kinds used by the KV cache (carried in the LTL
+// datagram kind byte; see internal/ltl/service.go).
+const (
+	// KindReq carries a GET/PUT request toward a shard.
+	KindReq uint8 = 0x20
+	// KindResp carries a shard's reply back to the client.
+	KindResp uint8 = 0x21
+)
+
+// Request operations and reply codes (first byte of the payload).
+const (
+	OpGet     = 1 // request: read Key
+	OpPut     = 2 // request: write Key = Val
+	RespHit   = 3 // reply: Key present, Val attached
+	RespMiss  = 4 // reply: Key absent (or displaced under pressure)
+	RespPut   = 5 // reply: Put applied
+	RespError = 6 // reply: request was undecodable or oversized
+)
+
+// Wire-format bounds. They exist so a corrupt length field can never make
+// the decoder allocate unbounded memory: anything larger is an encoding
+// error, matching the fixed-width key/value FIFOs a hardware pipeline
+// would have.
+const (
+	MaxKeyBytes = 256
+	MaxValBytes = 4 << 10
+)
+
+// Req is one GET/PUT request:
+//
+//	byte 0      op
+//	bytes 1-8   request id
+//	bytes 9-10  key length
+//	...         key
+//	next 2      value length (0 for GET)
+//	...         value
+type Req struct {
+	Op  byte
+	ID  uint64
+	Key []byte
+	Val []byte
+}
+
+// Resp is one shard reply:
+//
+//	byte 0      op (RespHit/RespMiss/RespPut/RespError)
+//	bytes 1-8   request id
+//	bytes 9-10  value length (nonzero only for RespHit)
+//	...         value
+type Resp struct {
+	Op  byte
+	ID  uint64
+	Val []byte
+}
+
+// Decode errors.
+var (
+	ErrTruncated = errors.New("kvcache: truncated message")
+	ErrOversized = errors.New("kvcache: key or value exceeds wire bounds")
+	ErrBadOp     = errors.New("kvcache: unknown op")
+)
+
+// EncodeReq serializes a request.
+func EncodeReq(r Req) []byte {
+	buf := make([]byte, 11+len(r.Key)+2+len(r.Val))
+	buf[0] = r.Op
+	binary.BigEndian.PutUint64(buf[1:], r.ID)
+	binary.BigEndian.PutUint16(buf[9:], uint16(len(r.Key)))
+	copy(buf[11:], r.Key)
+	off := 11 + len(r.Key)
+	binary.BigEndian.PutUint16(buf[off:], uint16(len(r.Val)))
+	copy(buf[off+2:], r.Val)
+	return buf
+}
+
+// DecodeReq parses a request, validating every length field before
+// slicing. It never panics on corrupt input.
+func DecodeReq(buf []byte) (Req, error) {
+	var r Req
+	if len(buf) < 13 {
+		return r, ErrTruncated
+	}
+	r.Op = buf[0]
+	if r.Op != OpGet && r.Op != OpPut {
+		return r, ErrBadOp
+	}
+	r.ID = binary.BigEndian.Uint64(buf[1:])
+	kl := int(binary.BigEndian.Uint16(buf[9:]))
+	if kl == 0 || kl > MaxKeyBytes {
+		return r, ErrOversized
+	}
+	if len(buf) < 11+kl+2 {
+		return r, ErrTruncated
+	}
+	r.Key = buf[11 : 11+kl]
+	off := 11 + kl
+	vl := int(binary.BigEndian.Uint16(buf[off:]))
+	if vl > MaxValBytes {
+		return r, ErrOversized
+	}
+	if len(buf) < off+2+vl {
+		return r, ErrTruncated
+	}
+	r.Val = buf[off+2 : off+2+vl]
+	return r, nil
+}
+
+// EncodeResp serializes a reply.
+func EncodeResp(r Resp) []byte {
+	buf := make([]byte, 11+len(r.Val))
+	buf[0] = r.Op
+	binary.BigEndian.PutUint64(buf[1:], r.ID)
+	binary.BigEndian.PutUint16(buf[9:], uint16(len(r.Val)))
+	copy(buf[11:], r.Val)
+	return buf
+}
+
+// DecodeResp parses a reply with the same corruption tolerance as
+// DecodeReq.
+func DecodeResp(buf []byte) (Resp, error) {
+	var r Resp
+	if len(buf) < 11 {
+		return r, ErrTruncated
+	}
+	r.Op = buf[0]
+	if r.Op < RespHit || r.Op > RespError {
+		return r, ErrBadOp
+	}
+	r.ID = binary.BigEndian.Uint64(buf[1:])
+	vl := int(binary.BigEndian.Uint16(buf[9:]))
+	if vl > MaxValBytes {
+		return r, ErrOversized
+	}
+	if len(buf) < 11+vl {
+		return r, ErrTruncated
+	}
+	r.Val = buf[11 : 11+vl]
+	return r, nil
+}
+
+// keyHash is FNV-1a over the key — the same cheap multiply/xor pipeline a
+// shard's hash unit would implement, used both for shard selection at the
+// client and set selection in the store.
+func keyHash(key []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}

@@ -31,10 +31,30 @@ type Req struct {
 	Pipeline string   // "rank" or "dnn"
 }
 
+// Mix is one pipeline's share of a mixed script.
+type Mix struct {
+	Pipeline string
+	Weight   float64
+}
+
 // Script synthesizes a Poisson arrival script: rate requests/second for
 // the given duration, each independently a ranking request with
 // probability rankFraction (else DNN). Same seed, same script.
 func Script(seed int64, rate float64, duration sim.Time, rankFraction float64) []Req {
+	return ScriptMix(seed, rate, duration,
+		[]Mix{{"rank", rankFraction}, {"dnn", 1 - rankFraction}})
+}
+
+// ScriptMix generalizes Script to any pipeline mix: each arrival draws
+// its pipeline from the weighted entries (weights need not sum to 1; the
+// draw walks the cumulative fractions of the total). A two-entry
+// rank/dnn mix reproduces Script exactly — one uniform draw per arrival,
+// in the same stream order — so existing seeds keep their scripts.
+func ScriptMix(seed int64, rate float64, duration sim.Time, mix []Mix) []Req {
+	total := 0.0
+	for _, m := range mix {
+		total += m.Weight
+	}
 	rng := rand.New(rand.NewSource(seed))
 	var reqs []Req
 	var t sim.Time
@@ -43,9 +63,14 @@ func Script(seed int64, rate float64, duration sim.Time, rankFraction float64) [
 		if t >= duration {
 			return reqs
 		}
-		pipe := "dnn"
-		if rng.Float64() < rankFraction {
-			pipe = "rank"
+		u := rng.Float64() * total
+		pipe := mix[len(mix)-1].Pipeline
+		for _, m := range mix {
+			if u < m.Weight {
+				pipe = m.Pipeline
+				break
+			}
+			u -= m.Weight
 		}
 		reqs = append(reqs, Req{Seq: uint64(len(reqs)), At: t, Pipeline: pipe})
 	}

@@ -198,3 +198,38 @@ func TestRunRealTimePacing(t *testing.T) {
 		t.Errorf("run finished in %v; last request was scheduled at 80ms wall", res.Elapsed)
 	}
 }
+
+// TestScriptMixBackCompatAndShape: a two-entry rank/dnn mix reproduces
+// Script byte-for-byte (same RNG stream), and a three-way mix draws
+// every named pipeline deterministically.
+func TestScriptMixBackCompatAndShape(t *testing.T) {
+	a := Script(9, 3000, 50*sim.Millisecond, 0.6)
+	b := ScriptMix(9, 3000, 50*sim.Millisecond, []Mix{{"rank", 0.6}, {"dnn", 0.4}})
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+
+	mix := ScriptMix(9, 4000, 50*sim.Millisecond,
+		[]Mix{{"rank", 0.3}, {"dnn", 0.3}, {"kv", 0.4}})
+	counts := map[string]int{}
+	for _, r := range mix {
+		counts[r.Pipeline]++
+	}
+	for _, p := range []string{"rank", "dnn", "kv"} {
+		if counts[p] == 0 {
+			t.Fatalf("mix never drew %q: %v", p, counts)
+		}
+	}
+	mix2 := ScriptMix(9, 4000, 50*sim.Millisecond,
+		[]Mix{{"rank", 0.3}, {"dnn", 0.3}, {"kv", 0.4}})
+	for i := range mix {
+		if mix[i] != mix2[i] {
+			t.Fatalf("same-seed mixes differ at %d", i)
+		}
+	}
+}

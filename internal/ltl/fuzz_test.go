@@ -23,6 +23,22 @@ func FuzzHandleFrame(f *testing.F) {
 	f.Add(pkt.EncodeLTL(pkt.LTLHeader{Type: pkt.LTLTeardown, DstConn: 1}, nil))
 	f.Add(pkt.EncodeLTL(pkt.LTLHeader{Type: pkt.LTLCNP, DstConn: 1}, nil))
 	f.Add(pkt.EncodeLTL(pkt.LTLHeader{Type: pkt.LTLControl, VC: 2}, []byte{0, 0, 0, 9}))
+	// Service datagrams as the network services send them (kind in the VC
+	// byte). Payloads are hand-built kvcache/rpcnic wire encodings — built
+	// as raw bytes here since those packages sit above ltl — plus
+	// truncated and corrupt variants: the engine must hand any of these to
+	// the datagram handler without panicking.
+	f.Add(pkt.EncodeLTL(pkt.LTLHeader{Type: pkt.LTLDatagram, VC: 0x20}, // kvcache GET
+		[]byte{1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 3, 'k', 'e', 'y', 0, 0}))
+	f.Add(pkt.EncodeLTL(pkt.LTLHeader{Type: pkt.LTLDatagram, VC: 0x20}, // kvcache PUT
+		[]byte{2, 0, 0, 0, 0, 0, 0, 0, 2, 0, 1, 'k', 0, 2, 'v', 'v'}))
+	f.Add(pkt.EncodeLTL(pkt.LTLHeader{Type: pkt.LTLDatagram, VC: 0x21}, // kvcache hit reply
+		[]byte{3, 0, 0, 0, 0, 0, 0, 0, 1, 0, 2, 'v', 'v'}))
+	f.Add(pkt.EncodeLTL(pkt.LTLHeader{Type: pkt.LTLDatagram, VC: 0x30}, // rpcnic ingress
+		[]byte{0xA7, 1, 2, 0, 0, 0, 0, 0, 0, 0, 0, 7, 0, 2, 'a', 'b'}))
+	f.Add(pkt.EncodeLTL(pkt.LTLHeader{Type: pkt.LTLDatagram, VC: 0x20}, // truncated: keyLen runs past end
+		[]byte{1, 0, 0, 0, 0, 0, 0, 0, 1, 0xFF, 0xFF}))
+	f.Add(pkt.EncodeLTL(pkt.LTLHeader{Type: pkt.LTLDatagram, VC: 0x7F}, nil)) // unknown kind, empty
 	f.Add([]byte{pkt.LTLMagic})
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -33,6 +49,10 @@ func FuzzHandleFrame(f *testing.F) {
 		s := sim.New(1)
 		a, b, wa, wb := pair(s, DefaultConfig(), sim.Microsecond)
 		b.Listen(func(pkt.IP, uint8) func([]byte) { return func([]byte) {} })
+		// Datagram handlers on both ends so fuzzed LTLDatagram frames take
+		// the full dispatch path, not the no-handler drop.
+		a.SetDatagramHandler(func(pkt.IP, uint8, []byte) {})
+		b.SetDatagramHandler(func(pkt.IP, uint8, []byte) {})
 		if err := a.OpenSend(1, wb.ip, wb.mac, 1, 0, nil); err != nil {
 			t.Fatal(err)
 		}

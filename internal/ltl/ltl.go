@@ -109,6 +109,8 @@ type Stats struct {
 	ThrottleStalls  metrics.Counter
 	ControlSent     metrics.Counter
 	ControlRecv     metrics.Counter
+	DatagramsSent   metrics.Counter
+	DatagramsRecv   metrics.Counter
 	MessageRTT      *metrics.Histogram // send -> fully ACKed, ns
 	DeliveryLatency *metrics.Histogram // first frame tx -> message delivered remotely (receiver view)
 }
@@ -191,6 +193,8 @@ type Engine struct {
 
 	// control-datagram receiver (control.go).
 	control ControlHandler
+	// service-datagram receiver (service.go).
+	datagram DatagramHandler
 
 	// dynamic connection setup (setup.go).
 	accept      AcceptFunc
@@ -269,6 +273,8 @@ func New(s *sim.Simulation, wire Wire, cfg Config) *Engine {
 		r.Counter("ltl.throttle_stalls", "events", "ltl", "token-bucket bandwidth-limit stalls", &e.Stats.ThrottleStalls)
 		r.Counter("ltl.control_sent", "frames", "ltl", "control datagrams sent", &e.Stats.ControlSent)
 		r.Counter("ltl.control_recv", "frames", "ltl", "control datagrams received", &e.Stats.ControlRecv)
+		r.Counter("ltl.dgrams_sent", "frames", "ltl", "service datagrams sent", &e.Stats.DatagramsSent)
+		r.Counter("ltl.dgrams_recv", "frames", "ltl", "service datagrams received", &e.Stats.DatagramsRecv)
 		r.Histogram("ltl.message_rtt", "ns", "ltl", "SendMessage to final ACK", e.Stats.MessageRTT)
 		r.Histogram("ltl.delivery_latency", "ns", "ltl", "first frame rx to message delivery", e.Stats.DeliveryLatency)
 	}
@@ -591,6 +597,8 @@ func (e *Engine) dispatch(f *pkt.Frame, h pkt.LTLHeader, payload []byte) {
 		e.onTeardown(h)
 	case pkt.LTLControl:
 		e.onControl(f, h, payload)
+	case pkt.LTLDatagram:
+		e.onDatagram(f, h, payload)
 	}
 }
 

@@ -40,6 +40,7 @@ const (
 	LTLTeardown LTLType = 6 // connection deallocation
 	LTLCNP      LTLType = 7 // DCQCN congestion notification packet
 	LTLControl  LTLType = 8 // connection-less control datagram (unreliable)
+	LTLDatagram LTLType = 9 // connection-less service datagram (unreliable data plane)
 )
 
 // String returns the frame type mnemonic.
@@ -61,6 +62,8 @@ func (t LTLType) String() string {
 		return "CNP"
 	case LTLControl:
 		return "CONTROL"
+	case LTLDatagram:
+		return "DGRAM"
 	default:
 		return fmt.Sprintf("LTLType(%d)", uint8(t))
 	}

@@ -1,0 +1,700 @@
+// Package rpcnic is a Dagger-style RPC NIC: serialization handling and
+// dispatch offloaded from host software onto the FPGA that already sits
+// between the NIC and the TOR (paper §III; Dagger in PAPERS.md argues the
+// close coupling is what makes RPC offload pay).
+//
+// Serialized RPCs arrive at a dispatcher node as LTL service datagrams.
+// In Offload mode the dispatcher's FPGA role decodes each request in a
+// fixed hardware pipeline and forwards it over LTL to a HaaS-leased
+// backend pool, picking backends with svclb's routing policies fed by
+// queue-depth gossip; the response returns the same way. The dispatcher
+// host's CPU never runs. In the host-software baseline the same bytes
+// cross PCIe to the host, wait in a single-server CPU queue whose decode
+// cost scales with message size, and cross PCIe again toward the backend
+// — twice more on the response path. The measured gap (per-request
+// latency and its tail as the host queue builds) is the offload
+// argument, reported by E18.
+package rpcnic
+
+import (
+	"fmt"
+
+	"repro/internal/faultinject"
+	"repro/internal/haas"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/pkt"
+	"repro/internal/shell"
+	"repro/internal/sim"
+	"repro/internal/svclb"
+	"repro/internal/workload"
+)
+
+// backendImage names the role bitstream backend leases load.
+const backendImage = "rpcnic-backend-v1"
+
+// Config parameterizes a dispatcher deployment and its measurement run.
+type Config struct {
+	Seed int64
+	// Offload selects the FPGA dispatcher; false runs the host-software
+	// baseline on the same topology, seeds, and workload.
+	Offload bool
+
+	// Callers is the number of RPC-generating hosts; each runs an
+	// open-loop generator at Rate requests per second.
+	Callers int
+	Rate    float64
+	// Backends is the leased worker pool size; Spares stay registered
+	// for failover. Policy is the svclb routing policy at the dispatcher.
+	Backends, Spares int
+	Policy           string
+
+	// ArgBytes/RetBytes size the serialized request and response.
+	ArgBytes, RetBytes int
+
+	// NICDecode is the FPGA pipeline's fixed decode+dispatch latency.
+	// HostDecodeFixed + HostDecodePerByte*len is the host CPU cost for
+	// the same work (single-server queue at the dispatcher host).
+	NICDecode         sim.Time
+	HostDecodeFixed   sim.Time
+	HostDecodePerByte sim.Time
+
+	Duration sim.Time
+	Drain    sim.Time
+	Timeout  sim.Time
+
+	RMPoll         sim.Time
+	GossipInterval sim.Time
+
+	FaultProfile   string
+	BackgroundLoad float64
+	Telemetry      bool
+	SpanLimit      int
+}
+
+// DefaultConfig returns a pool sized so the host-software baseline is
+// loaded but not saturated — the tail gap is queueing, not collapse.
+func DefaultConfig() Config {
+	return Config{
+		Offload: true,
+		Callers: 6, Rate: 15000,
+		Backends: 4, Spares: 1,
+		Policy:   svclb.PolicyP2C,
+		ArgBytes: 256, RetBytes: 64,
+		NICDecode:         250 * sim.Nanosecond,
+		HostDecodeFixed:   3 * sim.Microsecond,
+		HostDecodePerByte: 5 * sim.Nanosecond,
+		Duration:          10 * sim.Millisecond,
+		Drain:             5 * sim.Millisecond,
+		Timeout:           4 * sim.Millisecond,
+		RMPoll:            5 * sim.Millisecond,
+		GossipInterval:    100 * sim.Microsecond,
+	}
+}
+
+func (cfg Config) withDefaults() Config {
+	d := DefaultConfig()
+	if cfg.Callers <= 0 {
+		cfg.Callers = d.Callers
+	}
+	if cfg.Rate <= 0 {
+		cfg.Rate = d.Rate
+	}
+	if cfg.Backends <= 0 {
+		cfg.Backends = d.Backends
+	}
+	if cfg.Spares < 0 {
+		cfg.Spares = 0
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = d.Policy
+	}
+	if cfg.ArgBytes <= 0 {
+		cfg.ArgBytes = d.ArgBytes
+	}
+	if cfg.RetBytes <= 0 {
+		cfg.RetBytes = d.RetBytes
+	}
+	if cfg.NICDecode <= 0 {
+		cfg.NICDecode = d.NICDecode
+	}
+	if cfg.HostDecodeFixed <= 0 {
+		cfg.HostDecodeFixed = d.HostDecodeFixed
+	}
+	if cfg.HostDecodePerByte < 0 {
+		cfg.HostDecodePerByte = d.HostDecodePerByte
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = d.Duration
+	}
+	if cfg.Drain <= 0 {
+		cfg.Drain = d.Drain
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = d.Timeout
+	}
+	if cfg.RMPoll <= 0 {
+		cfg.RMPoll = d.RMPoll
+	}
+	if cfg.GossipInterval <= 0 {
+		cfg.GossipInterval = d.GossipInterval
+	}
+	return cfg
+}
+
+// methodTime is the backend role's service time per method — fixed
+// accelerator pipelines, not software estimates.
+func methodTime(method byte) sim.Time {
+	switch method {
+	case MethodHash:
+		return 4 * sim.Microsecond
+	case MethodRank:
+		return 12 * sim.Microsecond
+	default:
+		return 1 * sim.Microsecond
+	}
+}
+
+// rpcCall is one caller's in-flight RPC.
+type rpcCall struct {
+	sentAt sim.Time
+	timer  *sim.Event
+	span   obs.SpanID
+}
+
+// caller is one RPC-generating host end.
+type caller struct {
+	d       *Dispatcher
+	sh      *shell.Shell
+	host    int
+	pending map[uint64]*rpcCall
+	nextSeq uint64
+}
+
+// dispatchState is the dispatcher's per-request table entry (NIC SRAM in
+// offload mode, host memory in the baseline).
+type dispatchState struct {
+	caller int
+	slot   *svclb.Slot
+	span   obs.SpanID
+}
+
+// Stats aggregates dispatcher counters (registered under rpcnic.*).
+type Stats struct {
+	Ingress      metrics.Counter // serialized RPCs arriving at the dispatcher
+	Dispatched   metrics.Counter // requests forwarded to a backend
+	Replies      metrics.Counter // responses returned to callers
+	DecodeErrors metrics.Counter // undecodable ingress datagrams dropped
+	Timeouts     metrics.Counter // caller-side expiries
+	HostQueue    metrics.Gauge   // host-software decode queue depth (baseline)
+	Latency      *metrics.Histogram
+}
+
+// Dispatcher is one deployed RPC NIC: callers, the dispatcher node, and
+// its HaaS-leased backend pool.
+type Dispatcher struct {
+	s   *sim.Simulation
+	dc  *netsim.Datacenter
+	cfg Config
+
+	shells   map[int]*shell.Shell
+	callers  []*caller
+	dispHost int
+	router   *svclb.Router
+	table    map[uint64]*dispatchState
+	queues   map[int]*svclb.WorkQueue
+
+	rm      *haas.ResourceManager
+	in      *faultinject.Injector
+	gossip  []*sim.Ticker
+	tracer  *obs.Tracer
+	obsCtx  *obs.Context
+	stopFns []func()
+
+	// host-software baseline state: a single-server CPU queue.
+	hostBusyUntil sim.Time
+	hostBusyTotal sim.Time
+	hostQueueLen  int
+
+	hostEnd     int
+	hostsPerTOR int
+	digest      uint64
+
+	Stats Stats
+}
+
+// NewDispatcher builds a standalone deployment on its own simulation and
+// datacenter.
+func NewDispatcher(cfg Config) *Dispatcher {
+	cfg = cfg.withDefaults()
+	s := sim.New(cfg.Seed)
+	var ctx *obs.Context
+	if cfg.Telemetry {
+		ctx = obs.Enable(s)
+		if cfg.SpanLimit > 0 {
+			ctx.Tracer.SetLimit(cfg.SpanLimit)
+		}
+	}
+	dcCfg := netsim.DefaultConfig()
+	shells := map[int]*shell.Shell{}
+	dcCfg.Interposer = func(dc *netsim.Datacenter, hostID int) netsim.Interposer {
+		sh := shell.New(dc.Sim, hostID, netsim.DefaultPortConfig(), shell.DefaultConfig())
+		shells[hostID] = sh
+		return sh
+	}
+	dc := netsim.NewDatacenter(s, dcCfg)
+	d := NewDispatcherOn(s, dc, shells, 0, cfg)
+	d.obsCtx = ctx
+	dc.StartBackgroundLoad(cfg.BackgroundLoad, pkt.ClassRDMA, 1400)
+	return d
+}
+
+// NewDispatcherOn deploys on an existing simulation/datacenter starting
+// at hostBase: callers first, then (TOR-aligned) the dispatcher node and
+// its backend pool, mirroring svclb's layout.
+func NewDispatcherOn(s *sim.Simulation, dc *netsim.Datacenter, shells map[int]*shell.Shell, hostBase int, cfg Config) *Dispatcher {
+	cfg = cfg.withDefaults()
+	dcCfg := dc.Config()
+	d := &Dispatcher{
+		s: s, dc: dc, cfg: cfg, shells: shells,
+		table:       map[uint64]*dispatchState{},
+		queues:      map[int]*svclb.WorkQueue{},
+		tracer:      obs.TracerOf(s),
+		hostsPerTOR: dcCfg.HostsPerTOR,
+		digest:      14695981039346656037,
+		Stats:       Stats{Latency: metrics.NewHistogram()},
+	}
+	if reg := obs.RegistryOf(s); reg != nil {
+		reg.Counter("rpcnic.ingress", "reqs", "rpcnic", "serialized RPCs arriving at the dispatcher", &d.Stats.Ingress)
+		reg.Counter("rpcnic.dispatched", "reqs", "rpcnic", "requests forwarded to backends", &d.Stats.Dispatched)
+		reg.Counter("rpcnic.replies", "reqs", "rpcnic", "responses returned to callers", &d.Stats.Replies)
+		reg.Counter("rpcnic.decode_errors", "reqs", "rpcnic", "undecodable ingress dropped", &d.Stats.DecodeErrors)
+		reg.Counter("rpcnic.timeouts", "reqs", "rpcnic", "caller-side RPC expiries", &d.Stats.Timeouts)
+		reg.Gauge("rpcnic.host_queue", "reqs", "rpcnic", "host-software decode queue depth", &d.Stats.HostQueue)
+		reg.Histogram("rpcnic.latency", "ns", "rpcnic", "caller-observed RPC latency", d.Stats.Latency)
+	}
+
+	for i := 0; i < cfg.Callers; i++ {
+		h := hostBase + i
+		dc.Host(h)
+		c := &caller{d: d, sh: shells[h], host: h, pending: map[uint64]*rpcCall{}}
+		must(c.sh.SetServiceHandler(c.onDatagram))
+		d.callers = append(d.callers, c)
+	}
+
+	base := hostBase + ((cfg.Callers+dcCfg.HostsPerTOR-1)/dcCfg.HostsPerTOR)*dcCfg.HostsPerTOR
+	d.dispHost = base
+	dc.Host(base)
+	poolSize := cfg.Backends + cfg.Spares
+	poolHosts := make([]int, poolSize)
+	for i := range poolHosts {
+		poolHosts[i] = base + 1 + i
+		dc.Host(base + 1 + i)
+	}
+	d.hostEnd = base + 1 + poolSize
+
+	router, err := svclb.NewRouter(s.NewRand(), cfg.Policy)
+	if err != nil {
+		panic(fmt.Sprintf("rpcnic: %v", err))
+	}
+	d.router = router
+
+	// The dispatcher node terminates ingress and backend responses on the
+	// service-datagram plane, and depth gossip on the control plane.
+	must(shells[d.dispHost].SetServiceHandler(d.onDatagram))
+	must(shells[d.dispHost].SetControlHandler(func(from int, kind uint8, payload []byte) {
+		if kind == ctrlDepth && len(payload) >= 4 {
+			depth := int(payload[0])<<24 | int(payload[1])<<16 | int(payload[2])<<8 | int(payload[3])
+			d.router.ReportDepth(from, depth, s.Now())
+		}
+	}))
+
+	d.rm = haas.NewResourceManager(s, haas.RMConfig{
+		HealthPollInterval: cfg.RMPoll,
+		PodOf:              func(id haas.NodeID) int { p, _, _ := dc.Locate(int(id)); return p },
+	})
+	d.in = faultinject.New(s)
+	for _, h := range poolHosts {
+		h := h
+		d.in.AddNode(h, shells[h])
+		d.rm.Register(&haas.FPGAManager{
+			Node:      haas.NodeID(h),
+			Configure: func(string) { d.attachBackend(h) },
+			Healthy:   func() bool { return d.in.NodeAlive(h) },
+			Depth: func() int {
+				if q := d.queues[h]; q != nil {
+					return q.Depth()
+				}
+				return -1
+			},
+		})
+	}
+	for i := 0; i < cfg.Backends; i++ {
+		if err := d.grow(); err != nil {
+			panic(fmt.Sprintf("rpcnic: initial lease: %v", err))
+		}
+	}
+	if cfg.FaultProfile != "" {
+		p, err := faultinject.ByName(cfg.FaultProfile)
+		if err != nil {
+			panic(fmt.Sprintf("rpcnic: %v", err))
+		}
+		d.stopFns = append(d.stopFns, d.in.Start(p))
+	}
+	return d
+}
+
+// backendRole marks backend role slots occupied.
+type backendRole struct{}
+
+func (backendRole) Name() string { return "rpcnic-backend" }
+func (backendRole) HandleRequest(_ shell.RequestSource, _ []byte, respond func([]byte)) {
+	respond(nil)
+}
+
+// grow leases one backend and adds it to the routing table.
+func (d *Dispatcher) grow() error {
+	var slot *svclb.Slot
+	comp, err := d.rm.Lease("rpcnic", backendImage, haas.Constraints{Count: 1, Pod: -1},
+		func(haas.NodeID) { d.onBackendFailure(slot) })
+	if err != nil {
+		return err
+	}
+	slot = d.router.AddSlot(int(comp.Nodes[0]))
+	return nil
+}
+
+// onBackendFailure retires the slot and replaces the lease. Requests in
+// flight to the dead backend surface as caller timeouts.
+func (d *Dispatcher) onBackendFailure(slot *svclb.Slot) {
+	d.router.RemoveSlot(slot)
+	_ = d.grow() // no spare: run degraded until the pool recovers
+}
+
+// attachBackend wires a leased backend host: role, work queue, the
+// datagram work handler, and the depth gossip ticker.
+func (d *Dispatcher) attachBackend(h int) {
+	sh := d.shells[h]
+	sh.LoadRole(backendRole{})
+	q := svclb.NewWorkQueue(d.s, h)
+	d.queues[h] = q
+	must(sh.SetServiceHandler(func(from int, kind uint8, payload []byte) {
+		if kind != KindWork {
+			return
+		}
+		req, err := DecodeReq(payload)
+		if err != nil {
+			return
+		}
+		id, method := req.ID, req.Method
+		ret := make([]byte, d.cfg.RetBytes)
+		for i := range ret {
+			ret[i] = byte(id) + byte(i)
+		}
+		q.Submit(id, methodTime(method), func() {
+			must(sh.SendDatagram(from, KindWorkResp, EncodeResp(Resp{Method: method, ID: id, Ret: ret})))
+		})
+	}))
+	if len(d.gossip) < 64 { // phase-offset like svclb's backends
+		t := d.s.Every(d.cfg.GossipInterval*sim.Time(1+len(d.gossip)%8)/8, d.cfg.GossipInterval, func() {
+			depth := q.Depth()
+			must(sh.SendControl(d.dispHost, ctrlDepth, []byte{
+				byte(depth >> 24), byte(depth >> 16), byte(depth >> 8), byte(depth)}))
+		})
+		d.gossip = append(d.gossip, t)
+	}
+}
+
+// onDatagram is the dispatcher node's service-plane receiver.
+func (d *Dispatcher) onDatagram(from int, kind uint8, payload []byte) {
+	switch kind {
+	case KindIngress:
+		d.Stats.Ingress.Inc()
+		if d.cfg.Offload {
+			// FPGA pipeline: fixed decode latency, then dispatch. The host
+			// above this shell never runs.
+			buf := append([]byte(nil), payload...)
+			d.s.Schedule(d.cfg.NICDecode, func() { d.decodeAndDispatch(from, buf) })
+		} else {
+			d.hostIngress(from, payload)
+		}
+	case KindWorkResp:
+		d.onWorkResp(payload)
+	}
+}
+
+// hostIngress is the baseline path: PCIe up, a single-server CPU queue
+// whose decode cost scales with the serialized size, PCIe back down.
+func (d *Dispatcher) hostIngress(from int, payload []byte) {
+	buf := append([]byte(nil), payload...)
+	pcie := d.pcieTime(len(buf))
+	decode := d.cfg.HostDecodeFixed + d.cfg.HostDecodePerByte*sim.Time(len(buf))
+	d.s.Schedule(pcie, func() {
+		now := d.s.Now()
+		start := now
+		if d.hostBusyUntil > start {
+			start = d.hostBusyUntil
+		}
+		fin := start + decode
+		d.hostBusyUntil = fin
+		d.hostBusyTotal += decode
+		d.hostQueueLen++
+		d.Stats.HostQueue.Set(int64(d.hostQueueLen))
+		if d.tracer != nil {
+			if req, err := DecodeReq(buf); err == nil {
+				d.tracer.Range(obs.ReqFlow(req.ID), "rpcnic.host_decode", 0, int64(now), int64(fin-now))
+			}
+		}
+		d.s.ScheduleAt(fin, func() {
+			d.hostQueueLen--
+			d.Stats.HostQueue.Set(int64(d.hostQueueLen))
+			// Dispatch crosses PCIe back to the shell before entering LTL.
+			d.s.Schedule(d.pcieTime(len(buf)), func() { d.decodeAndDispatch(from, buf) })
+		})
+	})
+}
+
+// decodeAndDispatch validates the serialized RPC and forwards it to a
+// routed backend.
+func (d *Dispatcher) decodeAndDispatch(from int, buf []byte) {
+	req, err := DecodeReq(buf)
+	if err != nil {
+		d.Stats.DecodeErrors.Inc()
+		return
+	}
+	slot, ok := d.router.Pick()
+	if !ok {
+		d.Stats.DecodeErrors.Inc() // no live backend: drop, caller times out
+		return
+	}
+	st := &dispatchState{caller: from, slot: slot}
+	if d.tracer != nil {
+		st.span = d.tracer.Start(obs.ReqFlow(req.ID), "rpcnic.dispatch", 0)
+	}
+	d.table[req.ID] = st
+	d.Stats.Dispatched.Inc()
+	must(d.shells[d.dispHost].SendDatagram(slot.Host, KindWork, buf))
+}
+
+// onWorkResp completes one dispatched request: the response returns to
+// the caller (offload: straight through the NIC; baseline: two more PCIe
+// crossings and a host decode).
+func (d *Dispatcher) onWorkResp(payload []byte) {
+	resp, err := DecodeResp(payload)
+	if err != nil {
+		return
+	}
+	st, ok := d.table[resp.ID]
+	if !ok {
+		return
+	}
+	delete(d.table, resp.ID)
+	d.router.Done(st.slot)
+	send := func() {
+		d.Stats.Replies.Inc()
+		if d.tracer != nil {
+			d.tracer.End(st.span)
+		}
+		must(d.shells[d.dispHost].SendDatagram(st.caller, KindReply, payload))
+	}
+	if d.cfg.Offload {
+		d.s.Schedule(d.cfg.NICDecode, send)
+		return
+	}
+	// Baseline: response surfaces to host software and comes back down.
+	pcie := d.pcieTime(len(payload))
+	decode := d.cfg.HostDecodeFixed/2 + d.cfg.HostDecodePerByte*sim.Time(len(payload))
+	d.s.Schedule(pcie, func() {
+		start := d.s.Now()
+		if d.hostBusyUntil > start {
+			start = d.hostBusyUntil
+		}
+		fin := start + decode
+		d.hostBusyUntil = fin
+		d.hostBusyTotal += decode
+		d.s.ScheduleAt(fin, func() {
+			d.s.Schedule(d.pcieTime(len(payload)), send)
+		})
+	})
+}
+
+func (d *Dispatcher) pcieTime(n int) sim.Time {
+	c := shell.DefaultConfig()
+	return c.PCIeLatency + sim.Time(int64(n)*8*int64(sim.Second)/c.PCIeBps)
+}
+
+// ---- caller side ----
+
+// call issues one RPC from this caller.
+func (c *caller) call(method byte, args []byte) {
+	c.nextSeq++
+	id := uint64(c.host)<<32 | c.nextSeq
+	rc := &rpcCall{sentAt: c.d.s.Now()}
+	if c.d.tracer != nil {
+		rc.span = c.d.tracer.Start(obs.ReqFlow(id), "rpcnic.rpc", 0)
+	}
+	c.pending[id] = rc
+	rc.timer = c.d.s.Schedule(c.d.cfg.Timeout, func() { c.expire(id) })
+	must(c.sh.SendDatagram(c.d.dispHost, KindIngress, EncodeReq(Req{Method: method, ID: id, Args: args})))
+}
+
+func (c *caller) expire(id uint64) {
+	rc, ok := c.pending[id]
+	if !ok {
+		return
+	}
+	delete(c.pending, id)
+	c.d.Stats.Timeouts.Inc()
+	if c.d.tracer != nil {
+		c.d.tracer.End(rc.span)
+	}
+	c.d.fold(id, 0x7F)
+}
+
+func (c *caller) onDatagram(from int, kind uint8, payload []byte) {
+	if kind != KindReply {
+		return
+	}
+	resp, err := DecodeResp(payload)
+	if err != nil {
+		return
+	}
+	rc, ok := c.pending[resp.ID]
+	if !ok {
+		return
+	}
+	delete(c.pending, resp.ID)
+	c.d.s.Cancel(rc.timer)
+	lat := c.d.s.Now() - rc.sentAt
+	c.d.Stats.Latency.Observe(int64(lat))
+	if c.d.tracer != nil {
+		c.d.tracer.End(rc.span)
+	}
+	c.d.fold(resp.ID, uint64(lat))
+}
+
+// fold mixes one completion into the dispatcher-wide FNV digest. All
+// folds happen on the one simulation thread in event order, so the
+// digest is a replay-determinism witness.
+func (d *Dispatcher) fold(vs ...uint64) {
+	for _, v := range vs {
+		for i := 0; i < 64; i += 8 {
+			d.digest ^= (v >> i) & 0xff
+			d.digest *= 1099511628211
+		}
+	}
+}
+
+// Sim returns the simulation the dispatcher runs on.
+func (d *Dispatcher) Sim() *sim.Simulation { return d.s }
+
+// NextHostBase returns the first TOR-aligned host id past this deployment.
+func (d *Dispatcher) NextHostBase() int {
+	return ((d.hostEnd + d.hostsPerTOR - 1) / d.hostsPerTOR) * d.hostsPerTOR
+}
+
+// Stop releases control-plane resources.
+func (d *Dispatcher) Stop() {
+	d.rm.Stop()
+	for _, t := range d.gossip {
+		t.Stop()
+	}
+	for _, fn := range d.stopFns {
+		fn()
+	}
+}
+
+// Result is one measurement of the dispatcher.
+type Result struct {
+	Mode      string // "offload" or "host"
+	Offered   uint64
+	Completed uint64
+	Timeouts  uint64
+	P50, P99  sim.Time
+	Mean      sim.Time
+	// HostBusy is the dispatcher host CPU's busy fraction over Duration —
+	// identically zero in offload mode, which is the point.
+	HostBusy float64
+	// RouteHash digests every backend routing decision (svclb.Router).
+	RouteHash uint64
+	Digest    uint64
+	Record    *obs.Record
+}
+
+// Result snapshots the run.
+func (d *Dispatcher) Result() Result {
+	mode := "host"
+	if d.cfg.Offload {
+		mode = "offload"
+	}
+	r := Result{
+		Mode:      mode,
+		Offered:   d.Stats.Ingress.Value(),
+		Completed: d.Stats.Replies.Value(),
+		Timeouts:  d.Stats.Timeouts.Value(),
+		HostBusy:  float64(d.hostBusyTotal) / float64(d.cfg.Duration),
+		RouteHash: d.router.RouteHash(),
+		Digest:    d.digest,
+	}
+	if d.Stats.Latency.Count() > 0 {
+		r.P50 = sim.Time(d.Stats.Latency.Quantile(0.50))
+		r.P99 = sim.Time(d.Stats.Latency.Quantile(0.99))
+		r.Mean = sim.Time(int64(d.Stats.Latency.Mean()))
+	}
+	return r
+}
+
+// Telemetry collects the deployment's observability record (nil unless
+// built with Telemetry).
+func (d *Dispatcher) Telemetry(point string) *obs.Record {
+	if d.obsCtx == nil {
+		return nil
+	}
+	return obs.Collect(d.obsCtx, "netsvc", point)
+}
+
+// Run executes one standalone measurement: open-loop callers drawing a
+// fixed method mix for Duration, a drain window, then the snapshot.
+func Run(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	d := NewDispatcher(cfg)
+	s := d.s
+
+	gens := make([]*workload.OpenLoop, len(d.callers))
+	for ci, c := range d.callers {
+		c := c
+		rng := s.NewRand()
+		gens[ci] = workload.NewOpenLoop(s, cfg.Rate, func() {
+			method := byte(MethodEcho)
+			switch u := rng.Float64(); {
+			case u < 0.2:
+				method = MethodRank
+			case u < 0.5:
+				method = MethodHash
+			}
+			args := make([]byte, cfg.ArgBytes)
+			for i := range args {
+				args[i] = byte(i)
+			}
+			c.call(method, args)
+		})
+		gens[ci].Start()
+	}
+	s.ScheduleAt(cfg.Duration, func() {
+		for _, g := range gens {
+			g.Stop()
+		}
+	})
+	s.RunUntil(cfg.Duration + cfg.Drain)
+	d.Stop()
+	res := d.Result()
+	res.Record = d.Telemetry(fmt.Sprintf("rpc %s rate=%g", res.Mode, cfg.Rate))
+	return res
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

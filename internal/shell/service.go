@@ -1,0 +1,119 @@
+package shell
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/er"
+	"repro/internal/netsim"
+	"repro/internal/pkt"
+)
+
+// Service-datagram plumbing: the shell-level face of LTL's connection-less
+// data plane (internal/ltl/service.go). Network services terminated on the
+// FPGA — the KV cache shard, the RPC NIC — exchange request/response
+// payloads as service datagrams, so a shard can serve an arbitrary client
+// population with zero connection-table entries and zero host round-trips.
+//
+// On chip, the two planes ride separate ER virtual channels between the
+// Role and Remote ports:
+//
+//	VC 0 (VCService): service datagrams (this file),
+//	VC 1 (VCLease):   the lease/connection plane (SendRemote and
+//	                  OpenRemoteRecv deliveries).
+//
+// The split means an incast burst of KV requests queues behind other
+// service traffic, not behind the reliable connections the HaaS control
+// plane and svclb pools depend on — and er.Stats.VCFlits makes the
+// separation auditable.
+const (
+	// VCService is the ER virtual channel carrying service datagrams
+	// between the Role and Remote ports.
+	VCService = 0
+	// VCLease is the ER virtual channel carrying the connection/lease
+	// plane on the same port pair.
+	VCLease = 1
+)
+
+// dgramConn is the reserved connection-id prefix marking an ER message on
+// the Role<->Remote path as a service datagram rather than connection
+// traffic. Real connections may not use it (OpenRemoteRecv/OpenRemoteSend
+// reject it).
+const dgramConn uint16 = 0xFFFF
+
+// dgramHeaderLen prefixes the ER message: 2-byte marker, 1-byte kind,
+// 4-byte peer host id (destination on Role->Remote, source on
+// Remote->Role).
+const dgramHeaderLen = 7
+
+func encodeDgram(kind uint8, host int, payload []byte) []byte {
+	msg := make([]byte, dgramHeaderLen+len(payload))
+	binary.BigEndian.PutUint16(msg, dgramConn)
+	msg[2] = kind
+	binary.BigEndian.PutUint32(msg[3:], uint32(host))
+	copy(msg[dgramHeaderLen:], payload)
+	return msg
+}
+
+// SendDatagram sends a connection-less service datagram from the role to
+// the role on a remote shell: Role -> ER (VCService) -> LTL -> fabric.
+// Delivery is best-effort; services own their own timeout/retry story.
+func (sh *Shell) SendDatagram(remoteHost int, kind uint8, payload []byte) error {
+	if sh.Engine == nil {
+		return fmt.Errorf("shell %d: deployed without the LTL block", sh.hostID)
+	}
+	sh.Stats.DgramsSent.Inc()
+	sh.termRole.Send(er.PortRemote, VCService, encodeDgram(kind, remoteHost, payload))
+	return nil
+}
+
+// SetServiceHandler installs the role's receiver for incoming service
+// datagrams (nil drops them). Each datagram crosses the ER from the
+// Remote port to the Role on VCService before the handler sees it — the
+// on-chip hop a real shard's request pipeline pays.
+func (sh *Shell) SetServiceHandler(h func(fromHost int, kind uint8, payload []byte)) error {
+	if sh.Engine == nil {
+		return fmt.Errorf("shell %d: deployed without the LTL block", sh.hostID)
+	}
+	sh.serviceHandler = h
+	if h == nil {
+		sh.Engine.SetDatagramHandler(nil)
+		return nil
+	}
+	sh.Engine.SetDatagramHandler(func(src pkt.IP, kind uint8, payload []byte) {
+		id, ok := netsim.HostID(src)
+		if !ok {
+			return
+		}
+		sh.termRemote.Send(er.PortRole, VCService, encodeDgram(kind, id, payload))
+	})
+	return nil
+}
+
+// onRoleDgram completes the Remote -> Role delivery of a service datagram.
+func (sh *Shell) onRoleDgram(m *er.Message) {
+	if len(m.Payload) < dgramHeaderLen {
+		return
+	}
+	sh.Stats.DgramsRecv.Inc()
+	if sh.serviceHandler == nil {
+		return
+	}
+	if sh.role != nil && !sh.RoleUp() {
+		return // a hung role slot swallows datagrams like any other request
+	}
+	kind := m.Payload[2]
+	from := int(binary.BigEndian.Uint32(m.Payload[3:]))
+	sh.serviceHandler(from, kind, m.Payload[dgramHeaderLen:])
+}
+
+// onRemoteDgram completes the Role -> Remote direction: the datagram
+// leaves the chip through the LTL engine.
+func (sh *Shell) onRemoteDgram(m *er.Message) {
+	if len(m.Payload) < dgramHeaderLen {
+		return
+	}
+	kind := m.Payload[2]
+	dst := int(binary.BigEndian.Uint32(m.Payload[3:]))
+	sh.Engine.SendDatagram(netsim.HostIP(dst), netsim.HostMAC(dst), kind, m.Payload[dgramHeaderLen:])
+}

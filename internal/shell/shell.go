@@ -132,6 +132,8 @@ type Stats struct {
 	Reconfigs    metrics.Counter
 	PCIeReqs     metrics.Counter
 	RemoteReqs   metrics.Counter
+	DgramsSent   metrics.Counter // role->remote service datagrams (service plane)
+	DgramsRecv   metrics.Counter // remote->role service datagrams delivered
 }
 
 // Shell is one FPGA's shell instance. It implements netsim.Interposer and
@@ -179,6 +181,9 @@ type Shell struct {
 
 	// PFC generation state per (direction, class).
 	pfcPaused [2][pkt.NumClasses]bool
+
+	// service-datagram receiver (service.go).
+	serviceHandler func(fromHost int, kind uint8, payload []byte)
 
 	// remote request plumbing: connection id -> handler.
 	remoteRecv map[uint16]func(payload []byte)
@@ -235,6 +240,8 @@ func New(s *sim.Simulation, hostID int, portCfg netsim.PortConfig, cfg Config) *
 		r.Counter("shell.reconfigs", "events", "shell", "role reconfigurations", &sh.Stats.Reconfigs)
 		r.Counter("shell.pcie_reqs", "reqs", "shell", "host->role requests over PCIe DMA", &sh.Stats.PCIeReqs)
 		r.Counter("shell.remote_reqs", "reqs", "shell", "role->remote messages entering LTL", &sh.Stats.RemoteReqs)
+		r.Counter("shell.dgrams_sent", "dgrams", "shell", "role->remote service datagrams", &sh.Stats.DgramsSent)
+		r.Counter("shell.dgrams_recv", "dgrams", "shell", "remote->role service datagrams delivered", &sh.Stats.DgramsRecv)
 	}
 	buf := cfg.ER.BufFlits
 	sh.termPCIe = er.NewTerminal(s, sh.Router, er.PortPCIe, er.PortPCIe, buf)
@@ -601,6 +608,10 @@ func (sh *Shell) pcieTime(n int) sim.Time {
 func (sh *Shell) onRoleMessage(m *er.Message) {
 	if m.SrcNode == er.PortRemote {
 		conn := binary.BigEndian.Uint16(m.Payload)
+		if conn == dgramConn {
+			sh.onRoleDgram(m)
+			return
+		}
 		if h := sh.remoteRecv[conn]; h != nil {
 			h(m.Payload[2:])
 		}
@@ -644,6 +655,9 @@ func (sh *Shell) OpenRemoteSend(conn uint16, remoteHost int, remoteConn uint16, 
 	if sh.Engine == nil {
 		return fmt.Errorf("shell %d: deployed without the LTL block", sh.hostID)
 	}
+	if conn == dgramConn || remoteConn == dgramConn {
+		return fmt.Errorf("shell %d: connection id %#x is reserved for service datagrams", sh.hostID, dgramConn)
+	}
 	return sh.Engine.OpenSend(conn, netsim.HostIP(remoteHost), netsim.HostMAC(remoteHost), remoteConn, 0, onFail)
 }
 
@@ -653,13 +667,16 @@ func (sh *Shell) OpenRemoteRecv(conn uint16, fromHost int, handler func(payload 
 	if sh.Engine == nil {
 		return fmt.Errorf("shell %d: deployed without the LTL block", sh.hostID)
 	}
+	if conn == dgramConn {
+		return fmt.Errorf("shell %d: connection id %#x is reserved for service datagrams", sh.hostID, dgramConn)
+	}
 	sh.remoteRecv[conn] = handler
 	return sh.Engine.OpenRecv(conn, netsim.HostIP(fromHost), func(payload []byte) {
 		// Deliver through the ER: Remote -> Role, modeling the on-chip hop.
 		msg := make([]byte, 2+len(payload))
 		binary.BigEndian.PutUint16(msg, conn)
 		copy(msg[2:], payload)
-		sh.termRemote.Send(er.PortRole, 1, msg)
+		sh.termRemote.Send(er.PortRole, VCLease, msg)
 	})
 }
 
@@ -667,6 +684,10 @@ func (sh *Shell) OpenRemoteRecv(conn uint16, fromHost int, handler func(payload 
 // (Role -> Remote direction).
 func (sh *Shell) onRemoteMessage(m *er.Message) {
 	conn := binary.BigEndian.Uint16(m.Payload)
+	if conn == dgramConn {
+		sh.onRemoteDgram(m)
+		return
+	}
 	payload := m.Payload[2:]
 	sh.Stats.RemoteReqs.Inc()
 	var done func()
@@ -692,7 +713,7 @@ func (sh *Shell) SendRemote(conn uint16, payload []byte, done func()) {
 	msg := make([]byte, 2+len(payload))
 	binary.BigEndian.PutUint16(msg, conn)
 	copy(msg[2:], payload)
-	sh.termRole.Send(er.PortRemote, 1, msg)
+	sh.termRole.Send(er.PortRemote, VCLease, msg)
 }
 
 // RemoteHandler returns the handler registered for a receive connection

@@ -1,0 +1,392 @@
+package configcloud
+
+// E18 — on-fabric network services. The paper's §III argument, applied
+// to the two services every datacenter runs: a line-rate KV cache whose
+// GET/PUT path terminates on the FPGA (replies leave the shard board
+// without the host ever waking), and a Dagger-style RPC NIC that moves
+// request decode + dispatch off host software. Four views:
+//
+//  1. KV latency/throughput under uniform and Zipf-skewed load, with
+//     the on-fabric witness (fabric replies > 0, shard-host PCIe = 0).
+//  2. RPC offload vs the host-software baseline — same seed, topology,
+//     and workload; only the decode location differs.
+//  3. The KV workload on the pod-sharded parallel kernel, sequential vs
+//     all cores: digest equality proves worker count changes nothing.
+//  4. The KV cache behind the live HTTP frontend (/v1/kv), driven over
+//     real sockets by the open-loop load generator.
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/frontend"
+	"repro/internal/kvcache"
+	"repro/internal/loadgen"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/rpcnic"
+	"repro/internal/sim"
+)
+
+// netsvcKVConfig shapes one KV sweep point. The keyspace is kept small
+// relative to the request volume so hit rates move visibly with skew.
+func netsvcKVConfig(seed int64, rate, zipf float64, scale Scale) kvcache.Config {
+	cfg := kvcache.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Keys = 512
+	cfg.GetFraction = 0.85
+	cfg.ClientRate = rate
+	cfg.Zipf = zipf
+	cfg.Duration = 8 * Millisecond
+	cfg.Drain = 4 * Millisecond
+	cfg.FaultProfile = defaultFaultProfile
+	if scale == Full {
+		cfg.Duration = 40 * Millisecond
+		cfg.Drain = 8 * Millisecond
+	}
+	return cfg
+}
+
+// expNetsvcKV sweeps offered load × key distribution. The first row runs
+// twice as the digest-identity witness.
+func expNetsvcKV(scale Scale) *Table {
+	t := &Table{
+		Title: "E18a — Line-rate KV cache: latency vs offered load and skew (on-fabric = replies without host PCIe)",
+		Headers: []string{"dist", "rate/client", "offered", "completed", "hit rate",
+			"p50", "p99", "timeouts", "evictions", "on-fabric", "identical"},
+	}
+	rates := []float64{10000, 25000}
+	if scale == Full {
+		rates = []float64{10000, 25000, 50000}
+	}
+	first := true
+	for _, dist := range []struct {
+		name string
+		zipf float64
+	}{{"uniform", 0}, {"zipf-1.2", 1.2}} {
+		for _, rate := range rates {
+			cfg := netsvcKVConfig(18, rate, dist.zipf, scale)
+			if first && TelemetryEnabled() {
+				cfg.Telemetry = true
+				cfg.SpanLimit = 4096
+			}
+			res := kvcache.Run(cfg)
+			identical := "-"
+			if first {
+				cfg2 := cfg
+				cfg2.Telemetry = false
+				res2 := kvcache.Run(cfg2)
+				identical = fmt.Sprint(res2.Digest == res.Digest && res2.Completed == res.Completed)
+				addTelemetry("netsvc", res.Record)
+				first = false
+			}
+			t.AddRow(dist.name, fmt.Sprintf("%.0f", rate), res.Offered, res.Completed,
+				fmt.Sprintf("%.3f", res.HitRate), res.P50, res.P99,
+				res.Timeouts, res.Evictions, res.OnFabric, identical)
+		}
+	}
+	return t
+}
+
+// expNetsvcRPC runs the offload/host pair. Everything but the decode
+// location is held fixed, so the two rows isolate what moving
+// serialization handling onto the NIC-attached FPGA buys.
+func expNetsvcRPC(scale Scale) *Table {
+	t := &Table{
+		Title: "E18b — RPC NIC: FPGA offload vs host-software decode (same seed, topology, and workload)",
+		Headers: []string{"mode", "offered", "completed", "timeouts",
+			"p50", "p99", "mean", "host CPU busy"},
+	}
+	for _, offload := range []bool{true, false} {
+		cfg := rpcnic.DefaultConfig()
+		cfg.Seed = 18
+		cfg.Offload = offload
+		cfg.FaultProfile = defaultFaultProfile
+		if scale == Full {
+			cfg.Duration = 40 * Millisecond
+			cfg.Drain = 8 * Millisecond
+		}
+		if offload && TelemetryEnabled() {
+			cfg.Telemetry = true
+			cfg.SpanLimit = 4096
+		}
+		res := rpcnic.Run(cfg)
+		addTelemetry("netsvc", res.Record)
+		t.AddRow(res.Mode, res.Offered, res.Completed, res.Timeouts,
+			res.P50, res.P99, res.Mean, fmt.Sprintf("%.2f", res.HostBusy))
+	}
+	return t
+}
+
+// NetsvcScaleConfig drives one sharded-kernel KV point: per pod, a
+// cluster of closed-loop KV clients and one shard host, with the
+// keyspace hashed across every pod's shard — so most requests cross pod
+// (= shard) boundaries and the conservative windows carry real traffic.
+type NetsvcScaleConfig struct {
+	Seed int64
+	Pods int
+	// Topology dimensions (zero = the paper's).
+	HostsPerTOR, TORsPerPod int
+	// Workload shape.
+	ClientsPerPod     int
+	RequestsPerClient int
+	Keys              int
+	GetFraction       float64
+	MeanGap           sim.Time
+	Timeout           sim.Time
+	Duration          sim.Time
+	// Workers is the shard-advancing goroutine count (0 = one per core).
+	Workers   int
+	Telemetry bool
+	SpanLimit int
+}
+
+// DefaultNetsvcScaleConfig sizes the sharded KV workload for pods.
+func DefaultNetsvcScaleConfig(pods int) NetsvcScaleConfig {
+	return NetsvcScaleConfig{
+		Seed:              18,
+		Pods:              pods,
+		ClientsPerPod:     2,
+		RequestsPerClient: 150,
+		Keys:              256,
+		GetFraction:       0.8,
+		MeanGap:           30 * sim.Microsecond,
+		Timeout:           2 * sim.Millisecond,
+		Duration:          20 * sim.Millisecond,
+	}
+}
+
+// NetsvcScaleResult summarizes one sharded KV run.
+type NetsvcScaleResult struct {
+	Workers   int
+	Offered   uint64
+	Completed uint64
+	Hits      uint64
+	Timeouts  uint64
+	Events    uint64
+	Crossings uint64
+	// Digest folds every client's completion stream in client order plus
+	// the kernel's event and crossing totals: worker-count-independent by
+	// construction.
+	Digest  uint64
+	Elapsed time.Duration
+	Record  *obs.Record
+}
+
+// RunNetsvcScalePoint runs the KV service on the pod-sharded kernel.
+// Shard placement, client order, RNG streams, and the digest fold order
+// are all fixed before the clock starts, so the only thing Workers can
+// change is the wall clock.
+func RunNetsvcScalePoint(cfg NetsvcScaleConfig) NetsvcScaleResult {
+	topo := netsim.DefaultConfig()
+	topo.Pods = cfg.Pods
+	if cfg.HostsPerTOR > 0 {
+		topo.HostsPerTOR = cfg.HostsPerTOR
+	}
+	if cfg.TORsPerPod > 0 {
+		topo.TORsPerPod = cfg.TORsPerPod
+	}
+	c := NewSharded(Options{Seed: cfg.Seed, Topology: topo, Telemetry: cfg.Telemetry}, cfg.Workers)
+	if cfg.SpanLimit > 0 {
+		for _, ctx := range c.Obs {
+			ctx.Tracer.SetLimit(cfg.SpanLimit)
+		}
+	}
+	perPod := topo.HostsPerTOR * topo.TORsPerPod
+
+	// One shard per pod, on its pod's second TOR (fixed order).
+	shardHosts := make([]int, cfg.Pods)
+	for p := 0; p < cfg.Pods; p++ {
+		h := p*perPod + topo.HostsPerTOR
+		shardHosts[p] = h
+		n := c.Node(h)
+		st := kvcache.NewStore(c.SimForHost(h), n.Shell.DRAM, kvcache.DefaultStoreConfig())
+		kvcache.AttachShard(c.SimForHost(h), n.Shell, st)
+	}
+	lookup := func(hash uint64) int { return shardHosts[hash%uint64(len(shardHosts))] }
+
+	// Clients pod-major on each pod's first TOR. Each client's RNG and
+	// closed-loop chain live on its own shard's wheel.
+	var clients []*kvcache.Client
+	for p := 0; p < cfg.Pods; p++ {
+		for i := 0; i < cfg.ClientsPerPod; i++ {
+			h := p*perPod + i
+			n := c.Node(h)
+			ps := c.SimForHost(h)
+			cl := kvcache.NewClient(ps, n.Shell, cfg.Timeout, lookup)
+			clients = append(clients, cl)
+
+			rng := ps.NewRand()
+			remaining := cfg.RequestsPerClient
+			var next func(kvcache.Outcome)
+			issue := func() {
+				if remaining == 0 {
+					return
+				}
+				remaining--
+				idx := rng.Intn(cfg.Keys)
+				key := kvcache.MakeKey(idx, 16)
+				if rng.Float64() < cfg.GetFraction {
+					cl.Get(key, next)
+				} else {
+					cl.Put(key, kvcache.MakeVal(idx, 128), next)
+				}
+			}
+			next = func(kvcache.Outcome) {
+				gap := sim.Time(rng.ExpFloat64() * float64(cfg.MeanGap))
+				ps.Schedule(gap, issue)
+			}
+			ps.Schedule(sim.Time(rng.Intn(int(cfg.MeanGap))), issue)
+		}
+	}
+
+	start := time.Now()
+	c.Run(cfg.Duration)
+	elapsed := time.Since(start)
+
+	res := NetsvcScaleResult{
+		Workers:   c.Group.Workers(),
+		Events:    c.Fired(),
+		Crossings: c.Group.Crossings,
+		Elapsed:   elapsed,
+	}
+	h := uint64(14695981039346656037)
+	fold := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	for _, cl := range clients {
+		res.Offered += cl.Stats.Gets.Value() + cl.Stats.Puts.Value()
+		res.Completed += cl.Stats.Hits.Value() + cl.Stats.Misses.Value() + cl.Stats.PutAcks.Value()
+		res.Hits += cl.Stats.Hits.Value()
+		res.Timeouts += cl.Stats.Timeouts.Value()
+		fold(cl.Digest())
+	}
+	fold(res.Events)
+	fold(res.Crossings)
+	res.Digest = h
+
+	if cfg.Telemetry {
+		// The label omits the worker count: a parallel run's telemetry
+		// must be byte-identical to the sequential run's.
+		res.Record = obs.CollectGroup(c.Obs, "netsvc",
+			fmt.Sprintf("shardkv pods=%d", cfg.Pods), cfg.Seed)
+	}
+	return res
+}
+
+// expNetsvcScale runs the sharded KV point sequentially and on all
+// cores; the identical column is bit-equality of the two digests.
+func expNetsvcScale(scale Scale) *Table {
+	workers := scaleWorkers()
+	t := &Table{
+		Title: fmt.Sprintf("E18c — KV service on the sharded kernel (sequential vs %d workers; identical = bit-equal digests)", workers),
+		Headers: []string{"pods", "offered", "completed", "hits", "timeouts",
+			"events", "crossings", "seq wall", "par wall", "identical"},
+	}
+	pods := []int{2, 4}
+	mk := func(p int) NetsvcScaleConfig {
+		cfg := DefaultNetsvcScaleConfig(p)
+		cfg.HostsPerTOR = 8
+		cfg.TORsPerPod = 4
+		cfg.RequestsPerClient = 60
+		cfg.Duration = 8 * Millisecond
+		return cfg
+	}
+	if scale == Full {
+		pods = []int{2, 4, 16}
+		mk = DefaultNetsvcScaleConfig
+	}
+	for _, p := range pods {
+		cfg := mk(p)
+		cfg.Workers = 1
+		seq := RunNetsvcScalePoint(cfg)
+		cfg.Telemetry = TelemetryEnabled()
+		if cfg.Telemetry {
+			cfg.SpanLimit = 4096
+		}
+		cfg.Workers = workers
+		par := RunNetsvcScalePoint(cfg)
+		addTelemetry("netsvc", par.Record)
+		t.AddRow(p, seq.Offered, seq.Completed, seq.Hits, seq.Timeouts,
+			seq.Events, seq.Crossings,
+			seq.Elapsed.Round(time.Millisecond).String(),
+			par.Elapsed.Round(time.Millisecond).String(),
+			seq.Digest == par.Digest && seq.Completed == par.Completed)
+	}
+	return t
+}
+
+// RunNetsvcHTTPPoint serves a mixed rank/kv script over a real loopback
+// listener in replay mode, with the KV pipeline enabled at /v1/kv.
+func RunNetsvcHTTPPoint(seed int64, rate float64, duration sim.Time, clients int) (loadgen.Result, frontend.Stats, error) {
+	script := loadgen.ScriptMix(seed+1, rate, duration,
+		[]loadgen.Mix{{Pipeline: "rank", Weight: 0.25}, {Pipeline: "kv", Weight: 0.75}})
+
+	fcfg := frontend.DefaultConfig()
+	fcfg.Seed = seed
+	fcfg.Mode = frontend.Replay
+	fcfg.Expect = len(script)
+	fcfg.KV = frontend.KVConfig{Enabled: true, Keys: 256}
+	f := frontend.New(fcfg)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		f.Close()
+		return loadgen.Result{}, frontend.Stats{}, fmt.Errorf("netsvc: %w", err)
+	}
+	srv := &http.Server{Handler: frontend.NewHandler(f)}
+	go func() { _ = srv.Serve(ln) }()
+
+	res := loadgen.Run(loadgen.Config{
+		BaseURL: "http://" + ln.Addr().String(),
+		Clients: clients,
+	}, script)
+	stats := f.Stats()
+	f.Close()
+	_ = srv.Close()
+	return res, stats, nil
+}
+
+// expNetsvcHTTP is the live-wire view: the same on-fabric KV cache, but
+// every request crosses a real socket. Runs twice for the digest column.
+func expNetsvcHTTP(scale Scale) *Table {
+	t := &Table{
+		Title: "E18d — KV cache behind the HTTP frontend (replay clock, mixed rank/kv script)",
+		Headers: []string{"sent", "kv reqs", "kv completed", "kv shed", "ok",
+			"client p50", "client p99", "conserved", "identical"},
+	}
+	rate, duration := 3000.0, 30*Millisecond
+	if scale == Full {
+		rate, duration = 6000, 100*Millisecond
+	}
+	res, stats, err := RunNetsvcHTTPPoint(18, rate, duration, 8)
+	if err != nil {
+		t.AddRow("-", "-", "-", "-", "-", "-", "-", err.Error(), "-")
+		return t
+	}
+	res2, _, err2 := RunNetsvcHTTPPoint(18, rate, duration, 2)
+	identical := fmt.Sprint(err2 == nil && res2.Digest == res.Digest && res2.OK == res.OK)
+	kv := stats.Pipelines["kv"]
+	conserved := res.Lost == 0 && res.Dup == 0 && res.Errors == 0
+	t.AddRow(res.Sent, kv.Ingress, kv.Completed, kv.Shed, res.OK,
+		res.WallP50.Round(time.Microsecond).String(),
+		res.WallP99.Round(time.Microsecond).String(),
+		conserved, identical)
+	return t
+}
+
+// ExpNetsvc is experiment E18: the two on-fabric network services.
+func ExpNetsvc(scale Scale) []*Table {
+	return []*Table{
+		expNetsvcKV(scale),
+		expNetsvcRPC(scale),
+		expNetsvcScale(scale),
+		expNetsvcHTTP(scale),
+	}
+}
