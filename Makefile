@@ -27,15 +27,15 @@ bench:
 	$(GO) test -run '^$$' -bench=. -benchmem ./...
 
 # Hot-path benchmark packages: the sim kernel, the shard coordinator,
-# the fabric, and the on-fabric network services. BENCH_7.json is the
+# the fabric, and the on-fabric network services. BENCH_8.json is the
 # committed baseline the CI perf guard compares fresh runs against
 # (ccbench, ±15%).
 BENCH_PKGS = ./internal/sim/... ./internal/netsim/ ./internal/kvcache/ ./internal/rpcnic/
 bench-json:
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime=200ms $(BENCH_PKGS) | $(GO) run ./cmd/ccbench -o BENCH_7.json
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=200ms $(BENCH_PKGS) | $(GO) run ./cmd/ccbench -o BENCH_8.json
 
 bench-check:
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime=200ms $(BENCH_PKGS) | $(GO) run ./cmd/ccbench -check BENCH_7.json -tol 0.15
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=200ms $(BENCH_PKGS) | $(GO) run ./cmd/ccbench -check BENCH_8.json -tol 0.15
 
 # The live-traffic tier end to end: the frontend's race + determinism
 # tests (real listeners, concurrent clients), then the coverage gate.

@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	go test -run '^$' -bench . -benchmem ./internal/sim/... | ccbench -o BENCH_7.json
-//	go test -run '^$' -bench . -benchmem ./internal/sim/... | ccbench -check BENCH_7.json -tol 0.15
+//	go test -run '^$' -bench . -benchmem ./internal/sim/... | ccbench -o BENCH_8.json
+//	go test -run '^$' -bench . -benchmem ./internal/sim/... | ccbench -check BENCH_8.json -tol 0.15
 //
 // Benchmark lines are keyed by name with the trailing -GOMAXPROCS
 // suffix stripped, so baselines compare across machines with different

@@ -2,12 +2,15 @@ package configcloud
 
 import (
 	"fmt"
+	"math/rand"
+	"runtime"
 	"strings"
 	"testing"
 
 	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/ranking"
+	"repro/internal/sim/shard"
 	"repro/internal/svclb"
 	"repro/internal/sweep"
 )
@@ -147,12 +150,27 @@ func TestParallelSweepMatchesSequential(t *testing.T) {
 }
 
 // The sharded kernel's headline guarantee (ROADMAP: conservative-
-// lookahead PDES): the worker count changes only the wall clock. A
-// parallel run must match the single-worker run of the same partition
-// bit for bit — same behaviour digest (per-pair ping counts and RTTs,
-// event and crossing totals) and byte-identical telemetry JSONL.
+// lookahead PDES): the worker count AND the coordination engine change
+// only the wall clock. Every (engine, workers) combination must match
+// the single-worker run of the same partition bit for bit — same
+// behaviour digest (per-pair ping counts and RTTs, event and crossing
+// totals) and byte-identical telemetry JSONL.
+// raiseGOMAXPROCS lifts scheduler parallelism for one test so that
+// multi-worker shard-group runs spawn real goroutines (the group
+// clamps its pool to GOMAXPROCS) and the race detector sees them.
+func raiseGOMAXPROCS(t *testing.T, n int) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(0)
+	if prev >= n {
+		return
+	}
+	runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
+
 func TestShardedScaleDeterminism(t *testing.T) {
-	run := func(workers int) (ScaleResult, string) {
+	raiseGOMAXPROCS(t, 8)
+	run := func(workers int, engine shard.Engine) (ScaleResult, string) {
 		cfg := DefaultScaleConfig(3)
 		cfg.HostsPerTOR = 6
 		cfg.TORsPerPod = 4
@@ -161,6 +179,7 @@ func TestShardedScaleDeterminism(t *testing.T) {
 		cfg.Duration = 3 * Millisecond
 		cfg.BackgroundUtil = 0.01
 		cfg.Workers = workers
+		cfg.Engine = engine
 		cfg.Telemetry = true
 		cfg.SpanLimit = 3000
 		res := RunScalePoint(cfg)
@@ -170,8 +189,7 @@ func TestShardedScaleDeterminism(t *testing.T) {
 		}
 		return res, b.String()
 	}
-	seq, seqTel := run(1)
-	par, parTel := run(4)
+	seq, seqTel := run(1, shard.EngineChannel)
 	// Guard against a vacuous pass before comparing anything.
 	if seq.Pings == 0 {
 		t.Fatal("workload completed no pings")
@@ -182,16 +200,89 @@ func TestShardedScaleDeterminism(t *testing.T) {
 	if len(seqTel) < 1000 {
 		t.Fatalf("telemetry suspiciously small (%d bytes)", len(seqTel))
 	}
-	if par.Workers < 2 {
-		t.Fatalf("parallel run used %d workers", par.Workers)
+	for _, engine := range []shard.Engine{shard.EngineChannel, shard.EngineGlobal} {
+		for _, workers := range []int{1, 4} {
+			if workers == 1 && engine == shard.EngineChannel {
+				continue // the reference run itself
+			}
+			par, parTel := run(workers, engine)
+			if workers > 1 && par.Workers < 2 {
+				t.Fatalf("parallel run used %d workers", par.Workers)
+			}
+			if seq.Digest != par.Digest {
+				t.Errorf("%v workers=%d: digest diverged from sequential %016x vs %016x (pings %d vs %d, events %d vs %d)",
+					engine, workers, seq.Digest, par.Digest, seq.Pings, par.Pings, seq.Events, par.Events)
+			}
+			if seqTel != parTel {
+				t.Errorf("%v workers=%d: telemetry JSONL diverged (%d vs %d bytes)",
+					engine, workers, len(seqTel), len(parTel))
+			}
+		}
 	}
-	if seq.Digest != par.Digest {
-		t.Errorf("digest diverged: sequential %016x, parallel %016x (pings %d vs %d, events %d vs %d)",
-			seq.Digest, par.Digest, seq.Pings, par.Pings, seq.Events, par.Events)
+}
+
+// The ISSUE 8 property test: random small topologies — random pod
+// counts, random L1<->L2 cable delays and per-pod spreads (the raw
+// material for per-channel lookahead), random cross-traffic — run
+// sequentially, on the global-lookahead barrier engine, and on the
+// channel-aware asynchronous engine at 1/2/4/8 workers. Every run must
+// produce the same digest and byte-identical telemetry JSONL as the
+// sequential reference.
+func TestShardEngineRandomTopologyProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 9 sharded clouds per trial")
 	}
-	if seqTel != parTel {
-		t.Errorf("telemetry JSONL diverged between worker counts (%d vs %d bytes)",
-			len(seqTel), len(parTel))
+	raiseGOMAXPROCS(t, 8)
+	rng := rand.New(rand.NewSource(816))
+	for trial := 0; trial < 3; trial++ {
+		cfg := DefaultScaleConfig(1 + rng.Intn(4))
+		cfg.Seed = int64(1000 + trial)
+		cfg.HostsPerTOR = 4 + rng.Intn(4)
+		cfg.TORsPerPod = 4
+		cfg.IntraPairsPerPod = 1 + rng.Intn(2)
+		cfg.CrossPairsPerPod = 1 + rng.Intn(2)
+		cfg.PingsPerPair = 10 + rng.Intn(15)
+		cfg.MeanGap = 15 * Microsecond
+		cfg.Duration = 2 * Millisecond
+		cfg.BackgroundUtil = 0.005 * float64(rng.Intn(3))
+		cfg.L1UplinkProp = Time(200 + rng.Intn(1500))
+		cfg.L2CableSpread = Time(rng.Intn(1200))
+		cfg.Telemetry = true
+		cfg.SpanLimit = 2000
+		label := fmt.Sprintf("trial=%d pods=%d hosts/tor=%d prop=%d spread=%d",
+			trial, cfg.Pods, cfg.HostsPerTOR, cfg.L1UplinkProp, cfg.L2CableSpread)
+
+		run := func(workers int, engine shard.Engine) (ScaleResult, string) {
+			c := cfg
+			c.Workers = workers
+			c.Engine = engine
+			res := RunScalePoint(c)
+			var b strings.Builder
+			if err := obs.EncodeAll(&b, []*obs.Record{res.Record}); err != nil {
+				t.Fatal(err)
+			}
+			return res, b.String()
+		}
+		ref, refTel := run(1, shard.EngineChannel)
+		if ref.Pings == 0 || ref.Crossings == 0 {
+			t.Fatalf("%s: vacuous workload (pings=%d crossings=%d)", label, ref.Pings, ref.Crossings)
+		}
+		for _, engine := range []shard.Engine{shard.EngineGlobal, shard.EngineChannel} {
+			for _, workers := range []int{1, 2, 4, 8} {
+				if workers == 1 && engine == shard.EngineChannel {
+					continue
+				}
+				got, gotTel := run(workers, engine)
+				if got.Digest != ref.Digest {
+					t.Errorf("%s: %v workers=%d digest %016x, sequential %016x",
+						label, engine, workers, got.Digest, ref.Digest)
+				}
+				if gotTel != refTel {
+					t.Errorf("%s: %v workers=%d telemetry diverged (%d vs %d bytes)",
+						label, engine, workers, len(gotTel), len(refTel))
+				}
+			}
+		}
 	}
 }
 
@@ -201,13 +292,15 @@ func TestShardedScaleDeterminism(t *testing.T) {
 // same completion-stream digest and byte-identical telemetry JSONL.
 // This is E18's "seq-vs-sharded digest determinism" acceptance check.
 func TestNetsvcScaleDeterminism(t *testing.T) {
-	run := func(workers int) (NetsvcScaleResult, string) {
+	raiseGOMAXPROCS(t, 8)
+	run := func(workers int, engine shard.Engine) (NetsvcScaleResult, string) {
 		cfg := DefaultNetsvcScaleConfig(3)
 		cfg.HostsPerTOR = 6
 		cfg.TORsPerPod = 4
 		cfg.RequestsPerClient = 50
 		cfg.Duration = 6 * Millisecond
 		cfg.Workers = workers
+		cfg.Engine = engine
 		cfg.Telemetry = true
 		cfg.SpanLimit = 3000
 		res := RunNetsvcScalePoint(cfg)
@@ -217,8 +310,13 @@ func TestNetsvcScaleDeterminism(t *testing.T) {
 		}
 		return res, b.String()
 	}
-	seq, seqTel := run(1)
-	par, parTel := run(4)
+	seq, seqTel := run(1, shard.EngineChannel)
+	par, parTel := run(4, shard.EngineChannel)
+	barrier, barrierTel := run(4, shard.EngineGlobal)
+	if seq.Digest != barrier.Digest || seqTel != barrierTel {
+		t.Errorf("global-lookahead engine diverged from sequential: digest %016x vs %016x, telemetry %d vs %d bytes",
+			barrier.Digest, seq.Digest, len(barrierTel), len(seqTel))
+	}
 	if seq.Completed == 0 {
 		t.Fatal("workload completed no KV requests")
 	}

@@ -152,6 +152,7 @@ const (
 	domLTL   = 0x02
 	domER    = 0x03
 	domLease = 0x04
+	domShard = 0x05
 )
 
 // ReqFlow returns the flow ID for a service-level request. The request
@@ -185,6 +186,12 @@ func ERFlow(routerID int, srcNode int, msgID uint64) FlowID {
 // LeaseFlow returns the flow ID for one HaaS lease.
 func LeaseFlow(leaseID uint64) FlowID {
 	return nonzero(fnv(fnv(fnvOffset, domLease), leaseID))
+}
+
+// ShardFlow returns the flow ID for one shard of a conservative-
+// parallel group, used by the kernel's opt-in scheduler spans.
+func ShardFlow(shard int) FlowID {
+	return nonzero(fnv(fnv(fnvOffset, domShard), uint64(shard)))
 }
 
 // IPHost derives the host ID from an address under the simulation's
@@ -227,10 +234,17 @@ type Registry struct {
 
 type entry struct {
 	unit, pkg, help string
-	counters        []*metrics.Counter
-	gauges          []*metrics.Gauge
-	hists           []*metrics.Histogram
-	windows         []*metrics.Windowed
+	// runtime marks wall-clock-dependent series (e.g. the sharded
+	// kernel's park times and scheduler step counts): real diagnostics,
+	// but not pure functions of the seed. They are excluded from
+	// Snapshot — and therefore from telemetry, which must stay
+	// byte-identical across worker counts — and read via
+	// RuntimeSnapshot instead.
+	runtime  bool
+	counters []*metrics.Counter
+	gauges   []*metrics.Gauge
+	hists    []*metrics.Histogram
+	windows  []*metrics.Windowed
 }
 
 // NewRegistry returns an empty registry.
@@ -283,16 +297,47 @@ func (r *Registry) Windowed(name, unit, pkg, help string, w *metrics.Windowed) *
 	return w
 }
 
-// Snapshot reads every registered metric and returns one Sample per
-// name, sorted by name. Counters sharing a name are summed; histograms
-// are merged; gauges sum values and take the max watermark.
-func (r *Registry) Snapshot() []Sample {
+// RuntimeCounter registers c under name as a runtime-class series:
+// wall-clock-dependent, excluded from Snapshot (and telemetry), read
+// via RuntimeSnapshot. Nil-safe; returns c for chaining.
+func (r *Registry) RuntimeCounter(name, unit, pkg, help string, c *metrics.Counter) *metrics.Counter {
+	if e := r.entryFor(name, unit, pkg, help); e != nil {
+		e.runtime = true
+		e.counters = append(e.counters, c)
+	}
+	return c
+}
+
+// RuntimeGauge registers g under name as a runtime-class series (see
+// RuntimeCounter). Nil-safe; returns g for chaining.
+func (r *Registry) RuntimeGauge(name, unit, pkg, help string, g *metrics.Gauge) *metrics.Gauge {
+	if e := r.entryFor(name, unit, pkg, help); e != nil {
+		e.runtime = true
+		e.gauges = append(e.gauges, g)
+	}
+	return g
+}
+
+// Snapshot reads every registered deterministic metric and returns one
+// Sample per name, sorted by name. Counters sharing a name are summed;
+// histograms are merged; gauges sum values and take the max watermark.
+// Runtime-class series (RuntimeCounter/RuntimeGauge) are excluded:
+// telemetry built from Snapshot stays a pure function of the seed.
+func (r *Registry) Snapshot() []Sample { return r.snapshot(false) }
+
+// RuntimeSnapshot reads the runtime-class (wall-clock-dependent)
+// series only, for interactive display and debugging.
+func (r *Registry) RuntimeSnapshot() []Sample { return r.snapshot(true) }
+
+func (r *Registry) snapshot(runtime bool) []Sample {
 	if r == nil {
 		return nil
 	}
 	names := make([]string, 0, len(r.entries))
 	for n := range r.entries {
-		names = append(names, n)
+		if r.entries[n].runtime == runtime {
+			names = append(names, n)
+		}
 	}
 	sort.Strings(names)
 	out := make([]Sample, 0, len(names))

@@ -157,6 +157,41 @@ func TestRegistryAggregation(t *testing.T) {
 	}
 }
 
+func TestRuntimeMetricsExcludedFromSnapshot(t *testing.T) {
+	// Runtime-class metrics describe the host scheduler (park times,
+	// horizon gossip), so they are wall-clock-dependent and must stay
+	// out of the deterministic Snapshot() that feeds telemetry.
+	r := NewRegistry()
+	var det, rt metrics.Counter
+	var g metrics.Gauge
+	r.Counter("x.det", "events", "x", "", &det)
+	r.RuntimeCounter("x.rt", "ns", "x", "", &rt)
+	r.RuntimeGauge("x.rtg", "ns", "x", "", &g)
+	det.Add(1)
+	rt.Add(2)
+	g.Set(3)
+
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].Name != "x.det" {
+		t.Fatalf("Snapshot = %+v, want only x.det", snap)
+	}
+	runtime := r.RuntimeSnapshot()
+	if len(runtime) != 2 || runtime[0].Name != "x.rt" || runtime[1].Name != "x.rtg" {
+		t.Fatalf("RuntimeSnapshot = %+v, want x.rt and x.rtg", runtime)
+	}
+	if runtime[0].N != 2 || runtime[1].V != 3 {
+		t.Fatalf("runtime sample values wrong: %+v", runtime)
+	}
+
+	// Aggregation still merges runtime entries registered under one name.
+	var rt2 metrics.Counter
+	r.RuntimeCounter("x.rt", "ns", "x", "", &rt2)
+	rt2.Add(10)
+	if s := r.RuntimeSnapshot()[0]; s.N != 12 {
+		t.Fatalf("aggregated runtime counter = %d, want 12", s.N)
+	}
+}
+
 func TestNilRegistry(t *testing.T) {
 	var r *Registry
 	var c metrics.Counter

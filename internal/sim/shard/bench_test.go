@@ -6,14 +6,15 @@ import (
 	"repro/internal/sim"
 )
 
-// BenchmarkShardGroupWindow drives the conservative-window machinery
-// itself: four shards with dense local event chains plus a cross-shard
-// token circling the ring, advanced window by window. This prices the
-// coordinator + merge overhead a sharded run pays on top of raw event
-// dispatch (BenchmarkSimKernelSchedule is the per-event floor).
-func BenchmarkShardGroupWindow(b *testing.B) {
+// benchGroup builds the standard coordination workload: four shards
+// with dense local event chains plus a cross-shard token circling the
+// ring. This prices the coordination + merge overhead a sharded run
+// pays on top of raw event dispatch (BenchmarkSimKernelSchedule is the
+// per-event floor).
+func benchGroup(e Engine) (*Group, sim.Time) {
 	const look = sim.Time(500)
 	g := NewGroup(1, 4, 2)
+	g.SetEngine(e)
 	g.SetLookahead(look)
 	for i := 0; i < g.N(); i++ {
 		s := g.Sim(i)
@@ -34,10 +35,31 @@ func BenchmarkShardGroupWindow(b *testing.B) {
 		handlers[i] = func(any) { outs[i].Send(look, handlers[(i+1)%g.N()], nil) }
 	}
 	g.Sim(0).ScheduleCall(0, handlers[0], nil)
+	return g, look
+}
 
+func runCoordinationBench(b *testing.B, e Engine) {
+	g, look := benchGroup(e)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g.RunFor(10 * look)
 	}
+	b.StopTimer()
 	b.ReportMetric(float64(g.Rounds)/float64(b.N), "rounds/op")
+	b.ReportMetric(float64(g.Fired())/float64(b.N), "events/op")
+}
+
+// BenchmarkShardGroupWindow is the historical barrier path, pinned to
+// the global-lookahead engine so the number stays comparable across
+// baselines (BENCH_7 measured this loop before the async engine
+// existed).
+func BenchmarkShardGroupWindow(b *testing.B) {
+	runCoordinationBench(b, EngineGlobal)
+}
+
+// BenchmarkShardGroupAsync is the same workload on the channel-aware
+// asynchronous engine — no barrier rounds, per-channel horizons, shards
+// parking when idle.
+func BenchmarkShardGroupAsync(b *testing.B) {
+	runCoordinationBench(b, EngineChannel)
 }

@@ -28,6 +28,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/rpcnic"
 	"repro/internal/sim"
+	"repro/internal/sim/shard"
 )
 
 // netsvcKVConfig shapes one KV sweep point. The keyspace is kept small
@@ -138,7 +139,10 @@ type NetsvcScaleConfig struct {
 	Timeout           sim.Time
 	Duration          sim.Time
 	// Workers is the shard-advancing goroutine count (0 = one per core).
-	Workers   int
+	Workers int
+	// Engine selects the shard coordination engine (zero value: the
+	// channel-aware asynchronous engine); wall-clock-only, like Workers.
+	Engine    shard.Engine
 	Telemetry bool
 	SpanLimit int
 }
@@ -188,7 +192,7 @@ func RunNetsvcScalePoint(cfg NetsvcScaleConfig) NetsvcScaleResult {
 	if cfg.TORsPerPod > 0 {
 		topo.TORsPerPod = cfg.TORsPerPod
 	}
-	c := NewSharded(Options{Seed: cfg.Seed, Topology: topo, Telemetry: cfg.Telemetry}, cfg.Workers)
+	c := NewSharded(Options{Seed: cfg.Seed, Topology: topo, Telemetry: cfg.Telemetry, Engine: cfg.Engine}, cfg.Workers)
 	if cfg.SpanLimit > 0 {
 		for _, ctx := range c.Obs {
 			ctx.Tracer.SetLimit(cfg.SpanLimit)
