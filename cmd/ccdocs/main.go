@@ -1,12 +1,15 @@
 // Command ccdocs is the documentation linter run by CI's docs job. It
-// enforces two repo invariants with nothing but the standard library:
+// enforces three repo invariants with nothing but the standard library:
 //
 //   - every relative markdown link in the repo's *.md files resolves to a
 //     file or directory that exists (anchors and external URLs are not
-//     checked), and
+//     checked),
 //   - every package under internal/ and cmd/ carries a package doc
 //     comment — the godoc sweep that maps each subsystem to its paper
-//     section must not rot as packages are added.
+//     section must not rot as packages are added, and
+//   - every metric, span, and event name registered in code appears in
+//     OBSERVABILITY.md and every name documented there is still
+//     registered by code (see telemetry.go for the extraction rules).
 //
 // Usage:
 //
@@ -38,6 +41,7 @@ func main() {
 	var problems []string
 	problems = append(problems, checkMarkdownLinks(*root)...)
 	problems = append(problems, checkPackageDocs(*root)...)
+	problems = append(problems, checkTelemetryDocs(*root)...)
 
 	if len(problems) > 0 {
 		for _, p := range problems {

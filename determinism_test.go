@@ -22,6 +22,10 @@ func TestExperimentDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs several experiments twice")
 	}
+	// "tenancy" and "scale" print wall-clock columns and are covered by
+	// their own digest-based tests (TestTenancyScaleDeterminism,
+	// TestShardedScaleDeterminism) plus TestTenancyTableDeterminism for
+	// the wall-free E19 tables.
 	for _, id := range []string{"fig5", "power", "reliability", "crypto", "haas", "faults", "ext-bioinfo", "ext-compression"} {
 		render := func() string {
 			tabs, err := RunExperiment(id, Quick)
@@ -336,6 +340,81 @@ func TestNetsvcScaleDeterminism(t *testing.T) {
 	if seqTel != parTel {
 		t.Errorf("telemetry JSONL diverged between worker counts (%d vs %d bytes)",
 			len(seqTel), len(parTel))
+	}
+}
+
+// The wall-free E19 tables (pool packing, noisy neighbor) render
+// byte-identically run over run; E19c carries wall-clock columns and is
+// covered by the digest test below instead.
+func TestTenancyTableDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the tenancy experiment twice")
+	}
+	render := func() string {
+		return expTenancyPool(Quick).String() + expTenancyNeighbor(Quick).String()
+	}
+	if a, b := render(), render(); a != b {
+		t.Errorf("tenancy tables are non-deterministic:\n--- run 1\n%s\n--- run 2\n%s", a, b)
+	}
+}
+
+// The E19 acceptance check: the multi-tenant board — KV shard slot plus
+// a shaped elephant slot, both loaded by partial reconfiguration — runs
+// on the sharded kernel with the same guarantee as every other workload:
+// worker count and coordination engine change only the wall clock. Same
+// digest (client completion streams + elephant send/throttle totals) and
+// byte-identical telemetry JSONL across 1/4 workers and both engines.
+func TestTenancyScaleDeterminism(t *testing.T) {
+	raiseGOMAXPROCS(t, 8)
+	run := func(workers int, engine shard.Engine) (TenancyScaleResult, string) {
+		cfg := DefaultTenancyScaleConfig(3)
+		cfg.HostsPerTOR = 6
+		cfg.TORsPerPod = 4
+		cfg.RequestsPerClient = 30
+		cfg.Duration = 16 * Millisecond
+		cfg.Workers = workers
+		cfg.Engine = engine
+		cfg.Telemetry = true
+		cfg.SpanLimit = 3000
+		res := RunTenancyScalePoint(cfg)
+		var b strings.Builder
+		if err := obs.EncodeAll(&b, []*obs.Record{res.Record}); err != nil {
+			t.Fatal(err)
+		}
+		return res, b.String()
+	}
+	seq, seqTel := run(1, shard.EngineChannel)
+	if seq.Completed == 0 {
+		t.Fatal("workload completed no KV requests")
+	}
+	if seq.Crossings == 0 {
+		t.Fatal("workload never crossed a shard boundary")
+	}
+	if seq.ElephantSent == 0 || seq.Throttled == 0 {
+		t.Fatalf("elephant tenants idle (sent=%d throttled=%d): the point is not multi-tenant",
+			seq.ElephantSent, seq.Throttled)
+	}
+	if len(seqTel) < 1000 {
+		t.Fatalf("telemetry suspiciously small (%d bytes)", len(seqTel))
+	}
+	for _, engine := range []shard.Engine{shard.EngineChannel, shard.EngineGlobal} {
+		for _, workers := range []int{1, 4} {
+			if workers == 1 && engine == shard.EngineChannel {
+				continue // the reference run itself
+			}
+			par, parTel := run(workers, engine)
+			if workers > 1 && par.Workers < 2 {
+				t.Fatalf("parallel run used %d workers", par.Workers)
+			}
+			if seq.Digest != par.Digest {
+				t.Errorf("%v workers=%d: digest diverged %016x vs %016x (completed %d vs %d, events %d vs %d)",
+					engine, workers, seq.Digest, par.Digest, seq.Completed, par.Completed, seq.Events, par.Events)
+			}
+			if seqTel != parTel {
+				t.Errorf("%v workers=%d: telemetry JSONL diverged (%d vs %d bytes)",
+					engine, workers, len(seqTel), len(parTel))
+			}
+		}
 	}
 }
 

@@ -97,6 +97,8 @@ var experiments = []experimentDef{
 		func(scale Scale) ([]*Table, error) { return []*Table{ExpServe(scale)}, nil }},
 	{"netsvc", "E18: on-fabric network services — line-rate KV cache + RPC NIC offload",
 		func(scale Scale) ([]*Table, error) { return ExpNetsvc(scale), nil }},
+	{"tenancy", "E19: vFPGA multi-tenancy — slot packing, noisy-neighbor isolation, live defrag",
+		func(scale Scale) ([]*Table, error) { return ExpTenancy(scale), nil }},
 	{"ext-bioinfo", "Smith-Waterman on the acceleration plane (Fig. 1a)",
 		func(Scale) ([]*Table, error) { return []*Table{ExpBioinfo()}, nil }},
 	{"ext-compression", "compression offload cost model (Fig. 1a)",

@@ -104,6 +104,11 @@ type ResourceManager struct {
 	stopped   bool
 	leaseByNd map[NodeID]int
 
+	// Slot scheduling state (slots.go). slotClaims is nil until the
+	// first RegisterSlots, which also registers the Slot metrics.
+	slotClaims map[int]*SlotClaim
+	Slot       SlotMetrics
+
 	// tracer is cached at construction (nil when observability is off);
 	// leaseSpans holds each live lease's open "haas.lease" span.
 	tracer     *obs.Tracer
@@ -114,6 +119,9 @@ type nodeEntry struct {
 	id    NodeID
 	state NodeState
 	fm    *FPGAManager
+	// slots is non-nil for a slotted node (RegisterSlots): the node is
+	// scheduled per vFPGA slot and never granted as a whole board.
+	slots *slotState
 }
 
 // NewResourceManager builds an RM and starts its health poll.
@@ -154,11 +162,12 @@ func (rm *ResourceManager) Register(fm *FPGAManager) {
 	rm.nodes[fm.Node] = &nodeEntry{id: fm.Node, state: NodeFree, fm: fm}
 }
 
-// FreeCount reports unleased, healthy nodes.
+// FreeCount reports unleased, healthy whole-board nodes (slotted nodes
+// are accounted per slot; see SlotPoolStats).
 func (rm *ResourceManager) FreeCount() int {
 	n := 0
 	for _, e := range rm.nodes {
-		if e.state == NodeFree {
+		if e.state == NodeFree && e.slots == nil {
 			n++
 		}
 	}
@@ -257,7 +266,7 @@ func (rm *ResourceManager) freeNodes(c Constraints) []NodeID {
 	var ids []NodeID
 	byPod := make(map[int][]NodeID)
 	for _, e := range rm.nodes {
-		if e.state != NodeFree {
+		if e.state != NodeFree || e.slots != nil {
 			continue
 		}
 		pod := rm.cfg.PodOf(e.id)
@@ -359,6 +368,9 @@ func (rm *ResourceManager) pollHealth() {
 		}
 		e.state = NodeDead
 		rm.Failures.Inc()
+		if e.slots != nil {
+			rm.failSlottedNode(e)
+		}
 		if rm.tracer != nil {
 			var parent obs.SpanID
 			var flow obs.FlowID

@@ -69,6 +69,15 @@ type Config struct {
 	// Store sizes each shard's directory and DRAM arena.
 	Store StoreConfig
 
+	// SlotALMs, when positive, leases each shard as a vFPGA slot claim of
+	// that ALM footprint instead of a whole board: the pool registers with
+	// HaaS per slot, shards load by partial reconfiguration, and the
+	// boards' remaining slots stay open for other tenants (E19).
+	SlotALMs int
+	// SlotsPerBoard partitions standalone pool shells (default 2); on a
+	// shared fabric the caller slots the shells it passes in.
+	SlotsPerBoard int
+
 	// FaultProfile optionally names a faultinject profile applied to the
 	// shard pool's links and boards (incast, pfcstorm, ...).
 	FaultProfile string
@@ -324,6 +333,8 @@ func (c *Client) Pending() int { return len(c.pending) }
 type Shard struct {
 	s  *sim.Simulation
 	sh *shell.Shell
+	// slot is the vFPGA slot the shard occupies (-1 = whole-board role).
+	slot int
 	// Store is the shard's directory + DRAM arena.
 	Store  *Store
 	tracer *obs.Tracer
@@ -346,13 +357,28 @@ func (shardRole) HandleRequest(_ shell.RequestSource, _ []byte, respond func([]b
 // AttachShard loads the shard role onto sh and wires the store to the
 // shell's service-datagram plane.
 func AttachShard(s *sim.Simulation, sh *shell.Shell, st *Store) *Shard {
-	d := &Shard{s: s, sh: sh, Store: st, tracer: obs.TracerOf(s)}
+	d := newShard(s, sh, -1, st)
+	sh.LoadRole(shardRole{})
+	must(sh.SetServiceHandler(d.onDatagram))
+	return d
+}
+
+// AttachShardSlot wires the store to an already-reconfigured vFPGA slot:
+// requests demux onto the slot's virtual channel and replies pay the
+// slot's egress token bucket. The role itself was loaded by the slot's
+// partial reconfiguration (haas.SlotFM wiring).
+func AttachShardSlot(s *sim.Simulation, sh *shell.Shell, slot int, st *Store) *Shard {
+	d := newShard(s, sh, slot, st)
+	must(sh.SetServiceHandlerSlot(slot, []uint8{KindReq}, d.onDatagram))
+	return d
+}
+
+func newShard(s *sim.Simulation, sh *shell.Shell, slot int, st *Store) *Shard {
+	d := &Shard{s: s, sh: sh, slot: slot, Store: st, tracer: obs.TracerOf(s)}
 	if reg := obs.RegistryOf(s); reg != nil {
 		reg.Counter("kvcache.fabric_replies", "dgrams", "kvcache", "replies generated on-fabric (no host round-trip)", &d.Replies)
 		reg.Counter("kvcache.decode_errors", "reqs", "kvcache", "undecodable request datagrams dropped", &d.DecodeErrors)
 	}
-	sh.LoadRole(shardRole{})
-	must(sh.SetServiceHandler(d.onDatagram))
 	return d
 }
 
@@ -375,6 +401,12 @@ func (d *Shard) onDatagram(from int, kind uint8, payload []byte) {
 		d.Replies.Inc()
 		if d.tracer != nil {
 			d.tracer.End(span)
+		}
+		if d.slot >= 0 {
+			// A reply racing the slot's eviction (defrag cutover, board
+			// death) is dropped; the client's timeout covers it.
+			_ = d.sh.SendDatagramSlot(d.slot, from, KindResp, EncodeResp(resp))
+			return
 		}
 		must(d.sh.SendDatagram(from, KindResp, EncodeResp(resp)))
 	}
@@ -411,6 +443,9 @@ type Service struct {
 	shardHosts []int
 	// shards maps pool host -> its Shard (built at lease configure).
 	shards map[int]*Shard
+	// slotClaims[i] is slice i's (node, slot) claim in slot mode
+	// (cfg.SlotALMs > 0); nil entries are awaiting re-lease.
+	slotClaims []*haas.SlotClaim
 
 	rm *haas.ResourceManager
 	in *faultinject.Injector
@@ -440,7 +475,15 @@ func NewService(cfg Config) *Service {
 	dcCfg := netsim.DefaultConfig()
 	shells := map[int]*shell.Shell{}
 	dcCfg.Interposer = func(dc *netsim.Datacenter, hostID int) netsim.Interposer {
-		sh := shell.New(dc.Sim, hostID, netsim.DefaultPortConfig(), shell.DefaultConfig())
+		shCfg := shell.DefaultConfig()
+		if cfg.SlotALMs > 0 {
+			n := cfg.SlotsPerBoard
+			if n < 2 {
+				n = 2
+			}
+			shCfg.Slots = shell.DefaultSlotConfig(n)
+		}
+		sh := shell.New(dc.Sim, hostID, netsim.DefaultPortConfig(), shCfg)
 		shells[hostID] = sh
 		return sh
 	}
@@ -492,7 +535,7 @@ func NewServiceOn(s *sim.Simulation, dc *netsim.Datacenter, shells map[int]*shel
 	for _, h := range poolHosts {
 		h := h
 		sv.in.AddNode(h, shells[h])
-		sv.rm.Register(&haas.FPGAManager{
+		fm := &haas.FPGAManager{
 			Node: haas.NodeID(h),
 			Configure: func(string) {
 				st := NewStore(s, shells[h].DRAM, cfg.Store)
@@ -500,7 +543,22 @@ func NewServiceOn(s *sim.Simulation, dc *netsim.Datacenter, shells map[int]*shel
 			},
 			Healthy: func() bool { return sv.in.NodeAlive(h) },
 			Depth:   func() int { return 0 },
-		})
+		}
+		if cfg.SlotALMs > 0 {
+			if shells[h].NumSlots() == 0 {
+				panic(fmt.Sprintf("kvcache: SlotALMs set but shell %d has no vFPGA slots", h))
+			}
+			sv.rm.RegisterSlots(&haas.SlotFM{
+				FM:   fm,
+				Caps: shells[h].SlotCaps(),
+				ConfigureSlot: func(slot int, tenant, image string, alms int, done func(ok bool)) (sim.Time, error) {
+					return shells[h].ReconfigureSlot(slot, tenant, shardRole{}, alms, done)
+				},
+				ClearSlot: func(slot int) error { return shells[h].ClearSlot(slot) },
+			})
+		} else {
+			sv.rm.Register(fm)
+		}
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		if err := sv.lease(i); err != nil {
@@ -519,6 +577,9 @@ func NewServiceOn(s *sim.Simulation, dc *netsim.Datacenter, shells map[int]*shel
 
 // lease acquires (or replaces) the shard serving keyspace slice i.
 func (sv *Service) lease(i int) error {
+	if sv.cfg.SlotALMs > 0 {
+		return sv.leaseSlot(i)
+	}
 	comp, err := sv.rm.Lease("kvcache", shardImage, haas.Constraints{Count: 1, Pod: -1},
 		func(haas.NodeID) { sv.failover(i) })
 	if err != nil {
@@ -527,6 +588,58 @@ func (sv *Service) lease(i int) error {
 	sv.shardHosts[i] = int(comp.Nodes[0])
 	return nil
 }
+
+// leaseSlot claims one vFPGA slot for keyspace slice i. The shard's
+// request kind demuxes per board, so every slice keeps off the boards
+// the other slices occupy; requests arriving during the slot's partial
+// reconfiguration are swallowed and surface as client timeouts.
+func (sv *Service) leaseSlot(i int) error {
+	if sv.slotClaims == nil {
+		sv.slotClaims = make([]*haas.SlotClaim, sv.cfg.Shards)
+	}
+	var avoid []haas.NodeID
+	for j, c := range sv.slotClaims {
+		if j != i && c != nil {
+			avoid = append(avoid, c.Node)
+		}
+	}
+	claims, err := sv.rm.LeaseSlots(haas.SlotRequest{
+		Tenant: "kvcache", Image: shardImage, ALMs: sv.cfg.SlotALMs,
+		Count: 1, Avoid: avoid,
+		OnReady: func(c *haas.SlotClaim) {
+			h := int(c.Node)
+			st := NewStore(sv.s, sv.shells[h].DRAM, sv.cfg.Store)
+			sv.shards[h] = AttachShardSlot(sv.s, sv.shells[h], c.Slot, st)
+		},
+		OnMove: func(c *haas.SlotClaim, fromNode haas.NodeID, fromSlot int) {
+			// Defrag cutover: route slice i at the new board (the
+			// following OnReady re-attaches the store there). The cache
+			// restarts cold, like a failover — loss costs hit rate only.
+			delete(sv.shards, int(fromNode))
+			sv.shardHosts[i] = int(c.Node)
+		},
+		OnFailure: func(c *haas.SlotClaim) {
+			sv.slotClaims[i] = nil
+			delete(sv.shards, int(c.Node))
+			sv.failover(i)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	sv.slotClaims[i] = claims[0]
+	sv.shardHosts[i] = int(claims[0].Node)
+	return nil
+}
+
+// SlotClaims reports the per-slice slot claims (slot mode only).
+func (sv *Service) SlotClaims() []*haas.SlotClaim {
+	return append([]*haas.SlotClaim(nil), sv.slotClaims...)
+}
+
+// RM exposes the service's Resource Manager (E19 reads pool occupancy
+// and drives defragmentation through it).
+func (sv *Service) RM() *haas.ResourceManager { return sv.rm }
 
 // failover replaces a dead shard's lease. The replacement starts cold
 // (cache semantics: loss costs hit rate, not correctness); requests in

@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/er"
 	"repro/internal/netsim"
-	"repro/internal/pkt"
 )
 
 // Service-datagram plumbing: the shell-level face of LTL's connection-less
@@ -77,17 +76,13 @@ func (sh *Shell) SetServiceHandler(h func(fromHost int, kind uint8, payload []by
 	}
 	sh.serviceHandler = h
 	if h == nil {
-		sh.Engine.SetDatagramHandler(nil)
+		if len(sh.kindSlot) == 0 {
+			sh.Engine.SetDatagramHandler(nil)
+			sh.dgramIngress = false
+		}
 		return nil
 	}
-	sh.Engine.SetDatagramHandler(func(src pkt.IP, kind uint8, payload []byte) {
-		id, ok := netsim.HostID(src)
-		if !ok {
-			return
-		}
-		sh.termRemote.Send(er.PortRole, VCService, encodeDgram(kind, id, payload))
-	})
-	return nil
+	return sh.ensureDgramIngress()
 }
 
 // onRoleDgram completes the Remote -> Role delivery of a service datagram.
@@ -96,14 +91,19 @@ func (sh *Shell) onRoleDgram(m *er.Message) {
 		return
 	}
 	sh.Stats.DgramsRecv.Inc()
+	kind := m.Payload[2]
+	from := int(binary.BigEndian.Uint32(m.Payload[3:]))
+	if si, ok := sh.kindSlot[kind]; ok {
+		// Tenant traffic: delivered to (or swallowed by) the bound slot.
+		sh.dispatchSlotDgram(si, from, kind, m.Payload[dgramHeaderLen:])
+		return
+	}
 	if sh.serviceHandler == nil {
 		return
 	}
 	if sh.role != nil && !sh.RoleUp() {
 		return // a hung role slot swallows datagrams like any other request
 	}
-	kind := m.Payload[2]
-	from := int(binary.BigEndian.Uint32(m.Payload[3:]))
 	sh.serviceHandler(from, kind, m.Payload[dgramHeaderLen:])
 }
 

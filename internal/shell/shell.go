@@ -97,6 +97,9 @@ type Config struct {
 	// version without the LTL block" (§V-B) — reclaiming its area for the
 	// role. Engine is nil; remote APIs error.
 	NoLTL bool
+	// Slots partitions the role region into vFPGA slots for
+	// multi-tenancy (slots.go). Count < 2 keeps the single-role shell.
+	Slots SlotConfig
 
 	LTL ltl.Config
 	ER  er.Config
@@ -184,6 +187,15 @@ type Shell struct {
 
 	// service-datagram receiver (service.go).
 	serviceHandler func(fromHost int, kind uint8, payload []byte)
+	// dgramIngress records that the engine-side datagram receiver is
+	// installed (shared by the global handler and slot handlers).
+	dgramIngress bool
+
+	// vFPGA slots (slots.go): slot state, datagram-kind routing, and
+	// the multi-tenancy counters. Empty on single-role shells.
+	slots    []*vSlot
+	kindSlot map[uint8]int
+	Tenant   TenantStats
 
 	// remote request plumbing: connection id -> handler.
 	remoteRecv map[uint16]func(payload []byte)
@@ -206,6 +218,11 @@ type Shell struct {
 // shares the host's IP (distinguished by the LTL UDP port), exactly as a
 // bump-in-the-wire shares the server's network identity.
 func New(s *sim.Simulation, hostID int, portCfg netsim.PortConfig, cfg Config) *Shell {
+	if cfg.Slots.Count >= 2 && cfg.ER.VCs < slotVCBase+cfg.Slots.Count {
+		// Each vFPGA slot gets its own ER service virtual channel on top
+		// of the VCService/VCLease pair.
+		cfg.ER.VCs = slotVCBase + cfg.Slots.Count
+	}
 	sh := &Shell{
 		cfg: cfg, sim: s, hostID: hostID,
 		ip:  netsim.HostIP(hostID),
@@ -254,6 +271,8 @@ func New(s *sim.Simulation, hostID int, portCfg netsim.PortConfig, cfg Config) *
 	sh.termPCIe.OnMessage = sh.onPCIeMessage
 	sh.termDRAM.OnMessage = sh.onDRAMMessage
 	sh.DRAM = dram.New(s, dram.DefaultConfig())
+
+	sh.initSlots()
 
 	if cfg.ScrubInterval > 0 {
 		s.Every(cfg.ScrubInterval, cfg.ScrubInterval, sh.scrub)
@@ -492,6 +511,7 @@ func (sh *Shell) PowerCycle() {
 	sh.role = nil
 	sh.roleUp = false
 	sh.roleHung = false
+	sh.failSlots()
 	sh.sim.Schedule(sh.cfg.FullReconfigTime, func() {
 		if sh.failed {
 			return // died mid-cycle; Repair owns recovery
@@ -510,6 +530,7 @@ func (sh *Shell) Fail() {
 	sh.role = nil
 	sh.roleUp = false
 	sh.roleHung = false
+	sh.failSlots()
 }
 
 // Repair models the manual fix/replacement of a hard-failed board: the
