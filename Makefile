@@ -27,15 +27,15 @@ bench:
 	$(GO) test -run '^$$' -bench=. -benchmem ./...
 
 # Hot-path benchmark packages: the sim kernel, the shard coordinator,
-# the fabric, and the on-fabric network services. BENCH_8.json is the
-# committed baseline the CI perf guard compares fresh runs against
-# (ccbench, ±15%).
+# the fabric, and the on-fabric network services. BENCH_10.json is the
+# committed baseline the CI perf guard compares fresh runs against:
+# ns/op within ±15%, allocs/op a hard ceiling (±2%).
 BENCH_PKGS = ./internal/sim/... ./internal/netsim/ ./internal/kvcache/ ./internal/rpcnic/
 bench-json:
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime=200ms $(BENCH_PKGS) | $(GO) run ./cmd/ccbench -o BENCH_8.json
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=200ms $(BENCH_PKGS) | $(GO) run ./cmd/ccbench -o BENCH_10.json
 
 bench-check:
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime=200ms $(BENCH_PKGS) | $(GO) run ./cmd/ccbench -check BENCH_8.json -tol 0.15
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=200ms $(BENCH_PKGS) | $(GO) run ./cmd/ccbench -check BENCH_10.json -tol 0.15
 
 # The live-traffic tier end to end: the frontend's race + determinism
 # tests (real listeners, concurrent clients), then the coverage gate.

@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	go test -run '^$' -bench . -benchmem ./internal/sim/... | ccbench -o BENCH_8.json
-//	go test -run '^$' -bench . -benchmem ./internal/sim/... | ccbench -check BENCH_8.json -tol 0.15
+//	go test -run '^$' -bench . -benchmem ./internal/sim/... | ccbench -o BENCH_10.json
+//	go test -run '^$' -bench . -benchmem ./internal/sim/... | ccbench -check BENCH_10.json -tol 0.15
 //
 // Benchmark lines are keyed by name with the trailing -GOMAXPROCS
 // suffix stripped, so baselines compare across machines with different
@@ -14,7 +14,12 @@
 // ns/op or allocs/op; improvements and new benchmarks only get notes.
 // Wall-clock tolerance is deliberately loose (default ±15%): the guard
 // is for order-of-magnitude accidents — an O(n) scan slipping into a
-// hot loop — not for micro-variance between runs.
+// hot loop — not for micro-variance between runs. Allocation counts are
+// deterministic, so allocs/op is a hard ceiling (-alloc-tol, default
+// ±2% for map-growth jitter): an alloc slipping into a pooled hot path
+// fails even when the wall clock absorbs it. Benchmarks that report a
+// per-request figure (b.ReportMetric ns/req) get it recorded in the
+// baseline for reference; it is not compared.
 package main
 
 import (
@@ -32,12 +37,14 @@ import (
 type Entry struct {
 	NsOp     float64 `json:"ns_op"`
 	AllocsOp float64 `json:"allocs_op"`
+	NsReq    float64 `json:"ns_req,omitempty"`
 }
 
 func main() {
 	out := flag.String("o", "", "write the parsed baseline JSON to this file (default stdout)")
 	check := flag.String("check", "", "compare stdin against this baseline instead of writing one")
-	tol := flag.Float64("tol", 0.15, "allowed fractional regression in check mode")
+	tol := flag.Float64("tol", 0.15, "allowed fractional ns/op regression in check mode")
+	allocTol := flag.Float64("alloc-tol", 0.02, "allowed fractional allocs/op regression (hard ceiling)")
 	flag.Parse()
 
 	fresh, err := parse(os.Stdin)
@@ -57,7 +64,7 @@ func main() {
 		if err := json.Unmarshal(raw, &base); err != nil {
 			fail("parsing %s: %v", *check, err)
 		}
-		if !compare(base, fresh, *tol) {
+		if !compare(base, fresh, *tol, *allocTol) {
 			os.Exit(1)
 		}
 		fmt.Printf("ccbench: %d benchmarks within %.0f%% of %s\n", len(base), *tol*100, *check)
@@ -108,6 +115,8 @@ func parse(f *os.File) (map[string]Entry, error) {
 				e.NsOp = v
 			case "allocs/op":
 				e.AllocsOp = v
+			case "ns/req":
+				e.NsReq = v
 			}
 		}
 		res[name] = e
@@ -117,7 +126,7 @@ func parse(f *os.File) (map[string]Entry, error) {
 
 // compare reports whether every baseline benchmark is present in fresh
 // and within tolerance, printing one line per finding.
-func compare(base, fresh map[string]Entry, tol float64) bool {
+func compare(base, fresh map[string]Entry, tol, allocTol float64) bool {
 	names := make([]string, 0, len(base))
 	for n := range base {
 		names = append(names, n)
@@ -135,7 +144,7 @@ func compare(base, fresh map[string]Entry, tol float64) bool {
 			fmt.Printf("FAIL %s: ns/op %s\n", n, bad)
 			ok = false
 		}
-		if bad := exceeds(b.AllocsOp, f.AllocsOp, tol); bad != "" {
+		if bad := exceeds(b.AllocsOp, f.AllocsOp, allocTol); bad != "" {
 			fmt.Printf("FAIL %s: allocs/op %s\n", n, bad)
 			ok = false
 		}

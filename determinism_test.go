@@ -341,6 +341,50 @@ func TestNetsvcScaleDeterminism(t *testing.T) {
 		t.Errorf("telemetry JSONL diverged between worker counts (%d vs %d bytes)",
 			len(seqTel), len(parTel))
 	}
+
+	// The cuckoo directory and multi-get coalescing must be exactly as
+	// worker-count- and engine-independent as the base service: each
+	// variant's digest is compared across 1/2/4/8 workers and both shard
+	// engines.
+	variants := []struct {
+		name string
+		mut  func(*NetsvcScaleConfig)
+	}{
+		{"cuckoo", func(c *NetsvcScaleConfig) { c.Cuckoo = true }},
+		{"mget4", func(c *NetsvcScaleConfig) { c.MGetBatch = 4 }},
+	}
+	points := []struct {
+		workers int
+		engine  shard.Engine
+	}{
+		{1, shard.EngineChannel}, {2, shard.EngineGlobal},
+		{4, shard.EngineChannel}, {8, shard.EngineGlobal},
+	}
+	for _, v := range variants {
+		var ref NetsvcScaleResult
+		for i, pt := range points {
+			cfg := DefaultNetsvcScaleConfig(3)
+			cfg.HostsPerTOR = 6
+			cfg.TORsPerPod = 4
+			cfg.RequestsPerClient = 50
+			cfg.Duration = 6 * Millisecond
+			cfg.Workers = pt.workers
+			cfg.Engine = pt.engine
+			v.mut(&cfg)
+			res := RunNetsvcScalePoint(cfg)
+			if res.Completed == 0 {
+				t.Fatalf("%s: no completions at workers=%d engine=%v", v.name, pt.workers, pt.engine)
+			}
+			if i == 0 {
+				ref = res
+				continue
+			}
+			if res.Digest != ref.Digest || res.Completed != ref.Completed {
+				t.Errorf("%s: workers=%d engine=%v diverged: digest %016x vs %016x (completed %d vs %d)",
+					v.name, pt.workers, pt.engine, res.Digest, ref.Digest, res.Completed, ref.Completed)
+			}
+		}
+	}
 }
 
 // The wall-free E19 tables (pool packing, noisy neighbor) render

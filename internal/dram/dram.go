@@ -72,6 +72,9 @@ type Controller struct {
 	busyUntil sim.Time
 	pending   int
 
+	// opFree is the pooled-transaction freelist (ReadCall/WriteCall).
+	opFree []*memOp
+
 	Stats Stats
 }
 
@@ -155,6 +158,96 @@ func (c *Controller) Write(addr int64, data []byte, done func()) error {
 	return nil
 }
 
+// OpFn is the completion callback of the pooled-op API (ReadCall and
+// WriteCall): data is the read result (nil for writes) and is valid only
+// for the duration of the call — the controller reuses the buffer.
+type OpFn func(arg any, data []byte)
+
+// memOp is a pooled in-flight transaction: the closure-free counterpart
+// of Read/Write's captured state. The buf is reused across transactions,
+// so the steady-state DRAM path performs no allocation.
+type memOp struct {
+	c     *Controller
+	addr  int64
+	n     int
+	start sim.Time
+	fn    OpFn
+	arg   any
+	buf   []byte
+	write bool
+}
+
+// opDone is the static completion callback for pooled transactions.
+func opDone(v any) {
+	o := v.(*memOp)
+	c := o.c
+	var data []byte
+	if o.write {
+		c.store(o.addr, o.buf[:o.n])
+	} else {
+		o.buf = c.loadInto(o.buf[:0], o.addr, o.n)
+		data = o.buf
+	}
+	c.pending--
+	c.observe(o.start)
+	if o.fn != nil {
+		o.fn(o.arg, data)
+	}
+	o.fn, o.arg = nil, nil
+	c.opFree = append(c.opFree, o)
+}
+
+func (c *Controller) allocOp() *memOp {
+	if n := len(c.opFree); n > 0 {
+		o := c.opFree[n-1]
+		c.opFree = c.opFree[:n-1]
+		return o
+	}
+	return &memOp{c: c}
+}
+
+// WriteCall is Write on the pooled-op path: data is copied into a reused
+// transaction buffer (the caller's slice is free after the call returns)
+// and fn(arg, nil) fires at completion without allocating a closure.
+func (c *Controller) WriteCall(addr int64, data []byte, fn OpFn, arg any) error {
+	if err := c.checkRange(addr, len(data)); err != nil {
+		return err
+	}
+	if c.pending >= c.cfg.QueueDepth {
+		c.Stats.Rejected.Inc()
+		return fmt.Errorf("dram: controller queue full")
+	}
+	c.pending++
+	c.Stats.Writes.Inc()
+	c.Stats.BytesWrit.Add(uint64(len(data)))
+	lat := c.access(addr, len(data))
+	o := c.allocOp()
+	o.addr, o.n, o.start, o.fn, o.arg, o.write = addr, len(data), c.sim.Now(), fn, arg, true
+	o.buf = append(o.buf[:0], data...)
+	c.sim.ScheduleCall(lat, opDone, o)
+	return nil
+}
+
+// ReadCall is Read on the pooled-op path: fn(arg, data) receives the
+// result in a reused buffer valid only during the call.
+func (c *Controller) ReadCall(addr int64, n int, fn OpFn, arg any) error {
+	if err := c.checkRange(addr, n); err != nil {
+		return err
+	}
+	if c.pending >= c.cfg.QueueDepth {
+		c.Stats.Rejected.Inc()
+		return fmt.Errorf("dram: controller queue full")
+	}
+	c.pending++
+	c.Stats.Reads.Inc()
+	c.Stats.BytesRead.Add(uint64(n))
+	lat := c.access(addr, n)
+	o := c.allocOp()
+	o.addr, o.n, o.start, o.fn, o.arg, o.write = addr, n, c.sim.Now(), fn, arg, false
+	c.sim.ScheduleCall(lat, opDone, o)
+	return nil
+}
+
 // Read fetches n bytes at addr; done receives the data at completion.
 func (c *Controller) Read(addr int64, n int, done func(data []byte)) error {
 	if err := c.checkRange(addr, n); err != nil {
@@ -206,22 +299,29 @@ func (c *Controller) store(addr int64, data []byte) {
 // load reads through the sparse page map (unwritten bytes are zero, like
 // initialized DRAM after calibration).
 func (c *Controller) load(addr int64, n int) []byte {
-	out := make([]byte, n)
-	dst := out
-	for len(dst) > 0 {
+	return c.loadInto(make([]byte, 0, n), addr, n)
+}
+
+// loadInto appends n bytes at addr to dst (the pooled-op read path).
+func (c *Controller) loadInto(dst []byte, addr int64, n int) []byte {
+	for n > 0 {
 		page := addr / pageSize
 		off := int(addr % pageSize)
-		var src []byte
-		if p, ok := c.pages[page]; ok {
-			src = p[off:]
-		} else {
-			src = make([]byte, pageSize-off)
+		span := pageSize - off
+		if span > n {
+			span = n
 		}
-		n := copy(dst, src)
-		dst = dst[n:]
-		addr += int64(n)
+		if p, ok := c.pages[page]; ok {
+			dst = append(dst, p[off:off+span]...)
+		} else {
+			for i := 0; i < span; i++ {
+				dst = append(dst, 0)
+			}
+		}
+		n -= span
+		addr += int64(span)
 	}
-	return out
+	return dst
 }
 
 // InjectECCError simulates a correctable single-bit upset: ECC fixes it

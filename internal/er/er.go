@@ -25,7 +25,10 @@ import (
 	"repro/internal/sim"
 )
 
-// Flit is the unit of switching and flow control.
+// Flit is the unit of switching and flow control. Flits are pooled: they
+// are allocated from a per-router freelist at segmentation time and
+// recycled when a Terminal consumes them during reassembly, so the
+// steady-state switching path performs no allocation.
 type Flit struct {
 	Head, Tail bool
 	VC         int
@@ -34,10 +37,27 @@ type Flit struct {
 	DstNode int
 	// SrcNode is the global source endpoint (for reassembly bookkeeping).
 	SrcNode int
-	// Data is this flit's slice of the message payload.
+	// Data is this flit's copy of its slice of the message payload. The
+	// bytes are copied in at segmentation time (into the flit's reused
+	// buffer), so the sender's payload buffer is free for reuse as soon as
+	// Send returns.
 	Data []byte
 	// MsgID disambiguates interleaved messages during reassembly.
 	MsgID uint64
+
+	// deliverTo carries the link-traversal target between the switch
+	// cycle that wins arbitration and the delivery event one cycle later
+	// (closure-free scheduling via deliverFlit).
+	deliverTo Link
+}
+
+// deliverFlit is the static delivery callback: one cycle after a flit wins
+// switch arbitration it crosses the link into the downstream attachment.
+func deliverFlit(v any) {
+	f := v.(*Flit)
+	peer := f.deliverTo
+	f.deliverTo = nil
+	peer.AcceptFlit(f)
 }
 
 // Link is the receiving side of an attachment: something that can accept
@@ -114,9 +134,31 @@ type Stats struct {
 	VCFlits []metrics.Counter
 }
 
+// flitFIFO is a head-indexed flit queue: pops advance a cursor instead of
+// re-slicing, so the backing array's capacity is reused forever and the
+// steady state never reallocates.
+type flitFIFO struct {
+	buf  []*Flit
+	head int
+}
+
+func (q *flitFIFO) len() int      { return len(q.buf) - q.head }
+func (q *flitFIFO) peek() *Flit   { return q.buf[q.head] }
+func (q *flitFIFO) push(f *Flit)  { q.buf = append(q.buf, f) }
+func (q *flitFIFO) pop() *Flit {
+	f := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return f
+}
+
 // inputVC is one VC's FIFO at one input port.
 type inputVC struct {
-	fifo []*Flit
+	fifo flitFIFO
 	// boundOut is the output port this VC's in-progress packet is routed
 	// to, or -1 between packets (wormhole state).
 	boundOut int
@@ -139,8 +181,9 @@ type outputPort struct {
 	shared     int
 	sharedMode bool
 	// owner[vc] is the (input, vc) pair whose packet currently owns this
-	// output VC, or nil.
-	owner []*ownerRef
+	// output VC (valid=false between packets). Stored by value so VC
+	// allocation never allocates.
+	owner []ownerRef
 	// rr is the round-robin arbitration pointer.
 	rr int
 }
@@ -171,7 +214,10 @@ func (o *outputPort) giveCredit(vc int) {
 	}
 }
 
-type ownerRef struct{ in, vc int }
+type ownerRef struct {
+	in, vc int
+	valid  bool
+}
 
 // Router is an Elastic Router instance.
 type Router struct {
@@ -194,6 +240,30 @@ type Router struct {
 
 	ticking bool
 	Stats   Stats
+
+	// flitFree is the flit freelist (see Flit); scratchUsed is the
+	// per-cycle one-flit-per-input scoreboard, reused across ticks.
+	flitFree    []*Flit
+	scratchUsed []bool
+}
+
+// allocFlit takes a flit from the freelist (or allocates a fresh one).
+func (r *Router) allocFlit() *Flit {
+	if n := len(r.flitFree); n > 0 {
+		f := r.flitFree[n-1]
+		r.flitFree = r.flitFree[:n-1]
+		return f
+	}
+	return &Flit{}
+}
+
+// freeFlit recycles a consumed flit. The Data buffer's capacity is kept
+// (flits own their payload copies), so steady-state segmentation reuses it.
+func (r *Router) freeFlit(f *Flit) {
+	d := f.Data[:0]
+	*f = Flit{}
+	f.Data = d
+	r.flitFree = append(r.flitFree, f)
 }
 
 type spanKey struct {
@@ -235,10 +305,11 @@ func New(s *sim.Simulation, cfg Config) *Router {
 		r.inputs = append(r.inputs, in)
 		out := &outputPort{
 			credits: make([]int, cfg.VCs),
-			owner:   make([]*ownerRef, cfg.VCs),
+			owner:   make([]ownerRef, cfg.VCs),
 		}
 		r.outputs = append(r.outputs, out)
 	}
+	r.scratchUsed = make([]bool, cfg.Ports)
 	return r
 }
 
@@ -281,7 +352,7 @@ func (r *Router) SharedCredits() int {
 // vcCapacity returns how many flits VC v at an input may hold right now.
 func (r *Router) vcCapacity(in *inputPort, vc int) int {
 	if r.cfg.Elastic {
-		return r.cfg.BufFlits - in.used + len(in.vcs[vc].fifo)
+		return r.cfg.BufFlits - in.used + in.vcs[vc].fifo.len()
 	}
 	return r.cfg.BufFlits / r.cfg.VCs
 }
@@ -294,11 +365,11 @@ func (r *Router) Inject(port int, f *Flit) {
 	if f.VC < 0 || f.VC >= r.cfg.VCs {
 		panic(fmt.Sprintf("er: flit VC %d out of range", f.VC))
 	}
-	if len(in.vcs[f.VC].fifo) >= r.vcCapacity(in, f.VC) {
+	if in.vcs[f.VC].fifo.len() >= r.vcCapacity(in, f.VC) {
 		panic(fmt.Sprintf("er %s: input %d vc %d buffer overflow (credit protocol violated)",
 			r.cfg.Name, port, f.VC))
 	}
-	in.vcs[f.VC].fifo = append(in.vcs[f.VC].fifo, f)
+	in.vcs[f.VC].fifo.push(f)
 	in.used++
 	r.Stats.BufOccupancy.Add(1)
 	r.wake()
@@ -311,13 +382,16 @@ func (r *Router) ReturnCredit(port, vc int) {
 	r.wake()
 }
 
+// tickCall is the static cycle callback (closure-free wake).
+func tickCall(v any) { v.(*Router).tick() }
+
 // wake arms the cycle loop if idle.
 func (r *Router) wake() {
 	if r.ticking {
 		return
 	}
 	r.ticking = true
-	r.sim.Schedule(r.cfg.ClockPeriod, r.tick)
+	r.sim.ScheduleCall(r.cfg.ClockPeriod, tickCall, r)
 }
 
 // tick performs one switch-allocation cycle: for every output port, pick
@@ -326,23 +400,30 @@ func (r *Router) wake() {
 func (r *Router) tick() {
 	r.ticking = false
 	r.Stats.Cycles.Inc()
-	inputUsed := make([]bool, r.cfg.Ports)
+	inputUsed := r.scratchUsed
+	for i := range inputUsed {
+		inputUsed[i] = false
+	}
 	work := false
 
 	for o, out := range r.outputs {
 		if out.peer == nil {
 			continue
 		}
-		type cand struct{ in, vc int }
-		var cands []cand
+		// Candidate scan. The first eligible (input, VC) and the first one
+		// at or past the round-robin pointer are tracked in place of a
+		// materialized candidate list; the scan itself still visits every
+		// (input, VC) so the stall counters see the same increments.
+		firstIn, firstVC := -1, -1
+		pickIn, pickVC := -1, -1
 		for i, in := range r.inputs {
 			for v := range in.vcs {
 				ivc := &in.vcs[v]
-				if len(ivc.fifo) == 0 {
+				if ivc.fifo.len() == 0 {
 					continue
 				}
 				work = true
-				head := ivc.fifo[0]
+				head := ivc.fifo.peek()
 				dst := ivc.boundOut
 				if dst == -1 {
 					if !head.Head {
@@ -366,16 +447,16 @@ func (r *Router) tick() {
 				}
 				// VC allocation: a head flit needs the output VC free or
 				// already owned by us; body flits require ownership.
-				owner := out.owner[head.VC]
+				owner := &out.owner[head.VC]
 				if head.Head {
-					if owner != nil && !(owner.in == i && owner.vc == v) {
+					if owner.valid && !(owner.in == i && owner.vc == v) {
 						r.Stats.StallConflict.Inc()
 						if r.tracer != nil {
 							r.tracer.Event(obs.ERFlow(r.ObsID, head.SrcNode, head.MsgID), "er.stall_conflict", 0, int64(o))
 						}
 						continue
 					}
-				} else if owner == nil || owner.in != i || owner.vc != v {
+				} else if !owner.valid || owner.in != i || owner.vc != v {
 					continue
 				}
 				if !out.hasCredit(head.VC) {
@@ -385,29 +466,29 @@ func (r *Router) tick() {
 					}
 					continue
 				}
-				cands = append(cands, cand{i, v})
+				if firstIn == -1 {
+					firstIn, firstVC = i, v
+				}
+				if pickIn == -1 && i >= out.rr {
+					pickIn, pickVC = i, v
+				}
 			}
 		}
-		if len(cands) == 0 {
+		if firstIn == -1 {
 			continue
 		}
 		// Round-robin among candidates.
-		pick := cands[0]
-		for _, c := range cands {
-			if c.in >= out.rr {
-				pick = c
-				break
-			}
+		if pickIn == -1 {
+			pickIn, pickVC = firstIn, firstVC
 		}
-		out.rr = (pick.in + 1) % r.cfg.Ports
+		out.rr = (pickIn + 1) % r.cfg.Ports
 
-		in := r.inputs[pick.in]
-		ivc := &in.vcs[pick.vc]
-		head := ivc.fifo[0]
-		ivc.fifo = ivc.fifo[1:]
+		in := r.inputs[pickIn]
+		ivc := &in.vcs[pickVC]
+		head := ivc.fifo.pop()
 		in.used--
 		r.Stats.BufOccupancy.Add(-1)
-		inputUsed[pick.in] = true
+		inputUsed[pickIn] = true
 
 		if head.Head {
 			if r.cfg.Route != nil {
@@ -415,23 +496,23 @@ func (r *Router) tick() {
 			} else {
 				ivc.boundOut = head.DstNode
 			}
-			out.owner[head.VC] = &ownerRef{pick.in, pick.vc}
+			out.owner[head.VC] = ownerRef{pickIn, pickVC, true}
 		}
 		if head.Tail {
 			ivc.boundOut = -1
-			out.owner[head.VC] = nil
+			out.owner[head.VC] = ownerRef{}
 		}
 
 		out.takeCredit(head.VC)
 		r.Stats.FlitsSwitched.Inc()
 		r.Stats.VCFlits[head.VC].Inc()
 		if in.creditReturn != nil {
-			in.creditReturn(pick.vc)
+			in.creditReturn(pickVC)
 		}
-		peer := out.peer
-		f := head
-		// One cycle of link traversal to the attachment.
-		r.sim.Schedule(r.cfg.ClockPeriod, func() { peer.AcceptFlit(f) })
+		// One cycle of link traversal to the attachment (static callback;
+		// the flit carries its destination).
+		head.deliverTo = out.peer
+		r.sim.ScheduleCall(r.cfg.ClockPeriod, deliverFlit, head)
 	}
 
 	// Keep ticking while any input holds flits.

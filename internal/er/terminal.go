@@ -2,16 +2,65 @@ package er
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
-// Message is a reassembled Elastic Router message.
+// Message is a reassembled Elastic Router message. Messages are pooled:
+// a consumer that is done with one (and does not retain Payload) may hand
+// it back with FreeMessage so the reassembly path stops allocating.
 type Message struct {
 	SrcNode, DstNode int
 	VC               int
 	Payload          []byte
+
+	// term carries the delivery target between the tail flit's arrival
+	// and the zero-delay OnMessage dispatch (closure-free scheduling).
+	term *Terminal
+}
+
+// msgPool recycles Messages (and their Payload capacity) across the whole
+// process; sync.Pool keeps concurrent simulations safe.
+var msgPool = sync.Pool{New: func() any { return new(Message) }}
+
+// allocMessage takes a pooled message with zero-length payload.
+func allocMessage() *Message {
+	m := msgPool.Get().(*Message)
+	m.Payload = m.Payload[:0]
+	return m
+}
+
+// FreeMessage recycles m. The caller asserts that no reference to m or its
+// Payload outlives the call; handlers that retain the payload must simply
+// not free the message (an unfreed message is garbage-collected as before).
+func FreeMessage(m *Message) {
+	p := m.Payload[:0]
+	*m = Message{}
+	m.Payload = p
+	msgPool.Put(m)
+}
+
+// deliverMsg is the static OnMessage dispatch callback.
+func deliverMsg(v any) {
+	m := v.(*Message)
+	t := m.term
+	m.term = nil
+	t.OnMessage(m)
+}
+
+// creditArg is a preallocated (terminal, vc) pair for the static
+// credit-return callback, so per-flit credit returns never allocate.
+type creditArg struct {
+	t  *Terminal
+	vc int
+}
+
+// returnCreditCall is the static credit-return callback.
+func returnCreditCall(v any) {
+	a := v.(*creditArg)
+	a.t.router.ReturnCredit(a.t.port, a.vc)
 }
 
 // Terminal is an endpoint attached to one router port: it segments
@@ -36,10 +85,13 @@ type Terminal struct {
 	sendShared  int
 	sharedMode  bool
 	// sendq holds flits awaiting credits, per VC.
-	sendq [][]*Flit
+	sendq []flitFIFO
 
 	// reassembly state per (src, vc, msgID).
 	partial map[partialKey]*Message
+
+	// creditArgs[vc] is the preallocated argument for returnCreditCall.
+	creditArgs []creditArg
 
 	nextMsgID uint64
 }
@@ -56,7 +108,11 @@ func NewTerminal(s *sim.Simulation, router *Router, port, node, recvBufFlits int
 		Node: node, sim: s, router: router, port: port,
 		RecvBufFlits: recvBufFlits,
 		partial:      make(map[partialKey]*Message),
-		sendq:        make([][]*Flit, router.cfg.VCs),
+		sendq:        make([]flitFIFO, router.cfg.VCs),
+	}
+	t.creditArgs = make([]creditArg, router.cfg.VCs)
+	for v := range t.creditArgs {
+		t.creditArgs[v] = creditArg{t: t, vc: v}
 	}
 	if router.cfg.Elastic {
 		t.sharedMode = true
@@ -112,13 +168,12 @@ func (t *Terminal) Send(dstNode, vc int, payload []byte) {
 		if hi > len(payload) {
 			hi = len(payload)
 		}
-		f := &Flit{
-			Head: i == 0, Tail: i == n-1, VC: vc,
-			SrcNode: t.Node, DstNode: dstNode,
-			Data:  payload[lo:hi],
-			MsgID: t.nextMsgID,
-		}
-		t.sendq[vc] = append(t.sendq[vc], f)
+		f := t.router.allocFlit()
+		f.Head, f.Tail, f.VC = i == 0, i == n-1, vc
+		f.SrcNode, f.DstNode = t.Node, dstNode
+		f.Data = append(f.Data[:0], payload[lo:hi]...)
+		f.MsgID = t.nextMsgID
+		t.sendq[vc].push(f)
 	}
 	t.pump()
 }
@@ -126,7 +181,7 @@ func (t *Terminal) Send(dstNode, vc int, payload []byte) {
 // pump injects queued flits while credits last.
 func (t *Terminal) pump() {
 	for vc := range t.sendq {
-		for len(t.sendq[vc]) > 0 {
+		for t.sendq[vc].len() > 0 {
 			if t.sharedMode {
 				if t.sendShared <= 0 {
 					break
@@ -138,9 +193,7 @@ func (t *Terminal) pump() {
 				}
 				t.sendCredits[vc]--
 			}
-			f := t.sendq[vc][0]
-			t.sendq[vc] = t.sendq[vc][1:]
-			t.router.Inject(t.port, f)
+			t.router.Inject(t.port, t.sendq[vc].pop())
 		}
 	}
 }
@@ -154,11 +207,13 @@ func (t *Terminal) AcceptFlit(f *Flit) {
 		if !f.Head {
 			panic("er: terminal received body flit with no head")
 		}
-		m = &Message{SrcNode: f.SrcNode, DstNode: f.DstNode, VC: f.VC}
+		m = allocMessage()
+		m.SrcNode, m.DstNode, m.VC = f.SrcNode, f.DstNode, f.VC
 		t.partial[key] = m
 	}
 	m.Payload = append(m.Payload, f.Data...)
-	if f.Tail {
+	tail, vc := f.Tail, f.VC
+	if tail {
 		delete(t.partial, key)
 		t.router.Stats.MsgsDelivered.Inc()
 		if t.router.msgSpans != nil {
@@ -169,21 +224,25 @@ func (t *Terminal) AcceptFlit(f *Flit) {
 			}
 		}
 		if t.OnMessage != nil {
-			msg := m
-			t.sim.Schedule(0, func() { t.OnMessage(msg) })
+			m.term = t
+			t.sim.ScheduleCall(0, deliverMsg, m)
+		} else {
+			FreeMessage(m)
 		}
 	}
+	// The flit dies here: its payload slice has been copied into the
+	// message, so it can return to the router's freelist.
+	t.router.freeFlit(f)
 	// Model an always-draining endpoint: the credit returns after one
 	// router cycle.
-	vc := f.VC
-	t.sim.Schedule(t.router.cfg.ClockPeriod, func() { t.router.ReturnCredit(t.port, vc) })
+	t.sim.ScheduleCall(t.router.cfg.ClockPeriod, returnCreditCall, &t.creditArgs[vc])
 }
 
 // PendingSend reports flits queued awaiting credits (for tests).
 func (t *Terminal) PendingSend() int {
 	n := 0
-	for _, q := range t.sendq {
-		n += len(q)
+	for i := range t.sendq {
+		n += t.sendq[i].len()
 	}
 	return n
 }

@@ -24,27 +24,62 @@ func BenchmarkKVStoreGet(b *testing.B) {
 	s := sim.New(1)
 	st := NewStore(s, dram.New(s, dram.DefaultConfig()), DefaultStoreConfig())
 	key, val := MakeKey(1, 16), MakeVal(1, 128)
-	st.Put(key, val, func(ok, _ bool) {
+	put := &StoreOp{Done: func(_ *StoreOp, ok bool, _ []byte) {
 		if !ok {
 			b.Fatal("seed put failed")
 		}
-	})
+	}}
+	st.Put(key, val, put)
 	s.RunUntil(sim.Millisecond)
+	op := &StoreOp{Done: func(_ *StoreOp, hit bool, _ []byte) {
+		if !hit {
+			b.Fatal("seeded key missed")
+		}
+	}}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		st.Get(key, func(hit bool, _ []byte) {
-			if !hit {
-				b.Fatal("seeded key missed")
-			}
-		})
+		st.Get(key, op)
+		s.RunUntil(s.Now() + 10*sim.Microsecond)
+	}
+}
+
+// BenchmarkCuckooStoreGet is the directory A/B counterpart of
+// BenchmarkKVStoreGet.
+func BenchmarkKVCuckooStoreGet(b *testing.B) {
+	s := sim.New(1)
+	cfg := DefaultStoreConfig()
+	cfg.Cuckoo = true
+	st := NewStore(s, dram.New(s, dram.DefaultConfig()), cfg)
+	key, val := MakeKey(1, 16), MakeVal(1, 128)
+	put := &StoreOp{Done: func(_ *StoreOp, ok bool, _ []byte) {
+		if !ok {
+			b.Fatal("seed put failed")
+		}
+	}}
+	st.Put(key, val, put)
+	s.RunUntil(sim.Millisecond)
+	op := &StoreOp{Done: func(_ *StoreOp, hit bool, _ []byte) {
+		if !hit {
+			b.Fatal("seeded key missed")
+		}
+	}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Get(key, op)
 		s.RunUntil(s.Now() + 10*sim.Microsecond)
 	}
 }
 
 // BenchmarkServiceRun measures a full small deployment end to end:
 // simulated requests per wall-clock second across clients, ER, LTL
-// datagrams, shard stores, and DRAM.
+// datagrams, shard stores, and DRAM. ns/req and allocs/req normalize the
+// end-to-end cost per simulated request so regressions in the hot path
+// are visible regardless of iteration count.
 func BenchmarkKVServiceRun(b *testing.B) {
+	var reqs uint64
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cfg := DefaultConfig()
 		cfg.Seed = int64(i + 1)
@@ -57,5 +92,9 @@ func BenchmarkKVServiceRun(b *testing.B) {
 		if r.Completed == 0 {
 			b.Fatal("no completions")
 		}
+		reqs += r.Offered
+	}
+	if reqs > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(reqs), "ns/req")
 	}
 }

@@ -58,6 +58,12 @@ type Config struct {
 	GetFraction float64
 	ClientRate  float64
 
+	// MGetBatch > 1 makes Run's clients coalesce GETs into multi-get
+	// datagrams: each client buffers GET keys per keyspace slice and
+	// sends an OpMGet when a slice's buffer reaches MGetBatch (partial
+	// batches flush when load generation stops). PUTs are never batched.
+	MGetBatch int
+
 	// Duration generates load; the run then drains for Drain before
 	// snapshotting. Timeout is the client-side datagram-loss timeout.
 	Duration sim.Time
@@ -150,7 +156,9 @@ func (cfg Config) withDefaults() Config {
 	return cfg
 }
 
-// Outcome is one request's completion as the client saw it.
+// Outcome is one request's completion as the client saw it. Val aliases
+// the reply datagram's reused buffer: it is valid only for the duration
+// of the done callback (copy it to keep it).
 type Outcome struct {
 	Hit      bool // GET answered RespHit
 	Ok       bool // any reply arrived (hit, miss, put-ack)
@@ -159,13 +167,19 @@ type Outcome struct {
 	Latency  sim.Time
 }
 
-// kvCall is one in-flight client request.
+// kvCall is one in-flight client request. Calls are pooled on the client
+// (freed when the reply or timeout completes), and the timeout is a
+// pooled sim.Timer with a static callback — the per-request path neither
+// allocates the call nor a timer closure.
 type kvCall struct {
+	c      *Client
+	id     uint64
 	op     byte
 	sentAt sim.Time
-	timer  *sim.Event
+	timer  sim.Timer
 	span   obs.SpanID
 	done   func(Outcome)
+	mdone  func(m MResp, lat sim.Time, ok bool)
 }
 
 // ClientStats aggregates one client end's counters (registered under
@@ -196,6 +210,12 @@ type Client struct {
 	nextSeq uint64
 	tracer  *obs.Tracer
 	digest  uint64
+
+	// callFree pools kvCalls; scratch is the reused request encode buffer
+	// (SendDatagram copies synchronously, so one buffer per client is
+	// enough).
+	callFree []*kvCall
+	scratch  []byte
 
 	Stats ClientStats
 }
@@ -236,35 +256,90 @@ func (c *Client) Put(key, val []byte, done func(Outcome)) {
 	c.send(Req{Op: OpPut, Key: key, Val: val}, done)
 }
 
+func (c *Client) allocCall() *kvCall {
+	if n := len(c.callFree); n > 0 {
+		call := c.callFree[n-1]
+		c.callFree = c.callFree[:n-1]
+		return call
+	}
+	return &kvCall{c: c}
+}
+
+func (c *Client) freeCall(call *kvCall) {
+	call.done, call.mdone = nil, nil
+	c.callFree = append(c.callFree, call)
+}
+
 func (c *Client) send(r Req, done func(Outcome)) {
 	c.nextSeq++
 	r.ID = uint64(c.host)<<32 | c.nextSeq
-	call := &kvCall{op: r.Op, sentAt: c.s.Now(), done: done}
+	call := c.allocCall()
+	call.id, call.op, call.sentAt, call.done = r.ID, r.Op, c.s.Now(), done
 	if c.tracer != nil {
 		call.span = c.tracer.Start(obs.ReqFlow(r.ID), "kvcache.request", 0)
 	}
 	c.pending[r.ID] = call
-	id := r.ID
-	call.timer = c.s.Schedule(c.timeout, func() { c.expire(id) })
-	must(c.sh.SendDatagram(c.lookup(keyHash(r.Key)), KindReq, EncodeReq(r)))
+	call.timer = c.s.ScheduleTimer(c.timeout, expireCall, call)
+	c.scratch = AppendReq(c.scratch[:0], r)
+	must(c.sh.SendDatagram(c.lookup(keyHash(r.Key)), KindReq, c.scratch))
 }
 
-func (c *Client) expire(id uint64) {
-	call, ok := c.pending[id]
-	if !ok {
+// MultiGet sends up to MaxMultiKeys keys as one OpMGet datagram, routed
+// by the first key's hash — callers batch keys that share a shard (see
+// ShardOf). done fires exactly once: with the decoded reply (Vals alias
+// the reply datagram, valid only during the call) and ok=true, or zero
+// MResp and ok=false on timeout.
+func (c *Client) MultiGet(keys [][]byte, done func(m MResp, lat sim.Time, ok bool)) {
+	if len(keys) == 0 || len(keys) > MaxMultiKeys {
+		panic(fmt.Sprintf("kvcache: MultiGet with %d keys (1..%d)", len(keys), MaxMultiKeys))
+	}
+	c.Stats.Gets.Add(uint64(len(keys)))
+	c.nextSeq++
+	id := uint64(c.host)<<32 | c.nextSeq
+	call := c.allocCall()
+	call.id, call.op, call.sentAt, call.mdone = id, OpMGet, c.s.Now(), done
+	if c.tracer != nil {
+		call.span = c.tracer.Start(obs.ReqFlow(id), "kvcache.request", 0)
+	}
+	c.pending[id] = call
+	call.timer = c.s.ScheduleTimer(c.timeout, expireCall, call)
+	c.scratch = AppendMReq(c.scratch[:0], MReq{ID: id, Keys: keys})
+	must(c.sh.SendDatagram(c.lookup(keyHash(keys[0])), KindReq, c.scratch))
+}
+
+// ShardOf reports the keyspace slice index key currently routes to —
+// what MultiGet callers group by.
+func (c *Client) ShardOf(key []byte, shards int) int {
+	return int(keyHash(key) % uint64(shards))
+}
+
+// expireCall is the static timeout callback (the timer arg is the call).
+func expireCall(v any) {
+	call := v.(*kvCall)
+	c := call.c
+	if _, ok := c.pending[call.id]; !ok {
 		return
 	}
-	delete(c.pending, id)
+	delete(c.pending, call.id)
 	c.Stats.Timeouts.Inc()
 	c.endSpan(call)
-	c.fold(id, 0x7F) // timeout marker, distinct from every Resp op
-	if call.done != nil {
-		call.done(Outcome{TimedOut: true, Latency: c.timeout})
+	c.fold(call.id, 0x7F) // timeout marker, distinct from every Resp op
+	done, mdone := call.done, call.mdone
+	c.freeCall(call)
+	if done != nil {
+		done(Outcome{TimedOut: true, Latency: c.timeout})
+	}
+	if mdone != nil {
+		mdone(MResp{}, c.timeout, false)
 	}
 }
 
 func (c *Client) onDatagram(from int, kind uint8, payload []byte) {
 	if kind != KindResp {
+		return
+	}
+	if len(payload) > 0 && payload[0] == RespMGet {
+		c.onMResp(payload)
 		return
 	}
 	resp, err := DecodeResp(payload)
@@ -278,7 +353,7 @@ func (c *Client) onDatagram(from int, kind uint8, payload []byte) {
 		return
 	}
 	delete(c.pending, resp.ID)
-	c.s.Cancel(call.timer)
+	c.s.CancelTimer(call.timer)
 	lat := c.s.Now() - call.sentAt
 	c.Stats.Latency.Observe(int64(lat))
 	c.endSpan(call)
@@ -298,8 +373,47 @@ func (c *Client) onDatagram(from int, kind uint8, payload []byte) {
 	}
 	c.fold(resp.ID, uint64(resp.Op))
 	c.fold(resp.ID, uint64(lat))
-	if call.done != nil {
-		call.done(out)
+	done := call.done
+	c.freeCall(call)
+	if done != nil {
+		done(out)
+	}
+}
+
+// onMResp completes a MultiGet. The per-key hit pattern folds into the
+// digest as a bitmap so batched runs stay replay-checkable.
+func (c *Client) onMResp(payload []byte) {
+	m, err := DecodeMResp(payload)
+	if err != nil {
+		c.Stats.Errors.Inc()
+		return
+	}
+	call, ok := c.pending[m.ID]
+	if !ok {
+		c.Stats.LateReplies.Inc()
+		return
+	}
+	delete(c.pending, m.ID)
+	c.s.CancelTimer(call.timer)
+	lat := c.s.Now() - call.sentAt
+	c.Stats.Latency.Observe(int64(lat))
+	c.endSpan(call)
+
+	var bitmap uint64
+	for i, hit := range m.Hits {
+		if hit {
+			c.Stats.Hits.Inc()
+			bitmap |= 1 << uint(i)
+		} else {
+			c.Stats.Misses.Inc()
+		}
+	}
+	c.fold(m.ID, uint64(RespMGet)<<32|bitmap)
+	c.fold(m.ID, uint64(lat))
+	mdone := call.mdone
+	c.freeCall(call)
+	if mdone != nil {
+		mdone(m, lat, true)
 	}
 }
 
@@ -329,15 +443,19 @@ func (c *Client) Pending() int { return len(c.pending) }
 
 // Shard is the FPGA-resident shard role: it terminates request datagrams
 // on the service VC, probes the store, and generates the reply datagram —
-// all without the host.
+// all without the host. Per-request state is a pooled StoreOp with static
+// completion callbacks; the reply datagram encodes into a reused buffer.
 type Shard struct {
 	s  *sim.Simulation
 	sh *shell.Shell
 	// slot is the vFPGA slot the shard occupies (-1 = whole-board role).
 	slot int
 	// Store is the shard's directory + DRAM arena.
-	Store  *Store
+	Store  Store
 	tracer *obs.Tracer
+
+	opFree  []*StoreOp
+	scratch []byte
 
 	// Replies counts reply datagrams generated on-fabric; DecodeErrors
 	// counts dropped undecodable requests.
@@ -356,7 +474,7 @@ func (shardRole) HandleRequest(_ shell.RequestSource, _ []byte, respond func([]b
 
 // AttachShard loads the shard role onto sh and wires the store to the
 // shell's service-datagram plane.
-func AttachShard(s *sim.Simulation, sh *shell.Shell, st *Store) *Shard {
+func AttachShard(s *sim.Simulation, sh *shell.Shell, st Store) *Shard {
 	d := newShard(s, sh, -1, st)
 	sh.LoadRole(shardRole{})
 	must(sh.SetServiceHandler(d.onDatagram))
@@ -367,13 +485,13 @@ func AttachShard(s *sim.Simulation, sh *shell.Shell, st *Store) *Shard {
 // requests demux onto the slot's virtual channel and replies pay the
 // slot's egress token bucket. The role itself was loaded by the slot's
 // partial reconfiguration (haas.SlotFM wiring).
-func AttachShardSlot(s *sim.Simulation, sh *shell.Shell, slot int, st *Store) *Shard {
+func AttachShardSlot(s *sim.Simulation, sh *shell.Shell, slot int, st Store) *Shard {
 	d := newShard(s, sh, slot, st)
 	must(sh.SetServiceHandlerSlot(slot, []uint8{KindReq}, d.onDatagram))
 	return d
 }
 
-func newShard(s *sim.Simulation, sh *shell.Shell, slot int, st *Store) *Shard {
+func newShard(s *sim.Simulation, sh *shell.Shell, slot int, st Store) *Shard {
 	d := &Shard{s: s, sh: sh, slot: slot, Store: st, tracer: obs.TracerOf(s)}
 	if reg := obs.RegistryOf(s); reg != nil {
 		reg.Counter("kvcache.fabric_replies", "dgrams", "kvcache", "replies generated on-fabric (no host round-trip)", &d.Replies)
@@ -382,8 +500,71 @@ func newShard(s *sim.Simulation, sh *shell.Shell, slot int, st *Store) *Shard {
 	return d
 }
 
+func (d *Shard) allocOp() *StoreOp {
+	if n := len(d.opFree); n > 0 {
+		op := d.opFree[n-1]
+		d.opFree = d.opFree[:n-1]
+		return op
+	}
+	return &StoreOp{Shard: d}
+}
+
+func (d *Shard) freeOp(op *StoreOp) {
+	op.Done = nil
+	op.Evicted = false
+	op.keys, op.keyOffs, op.reply = op.keys[:0], op.keyOffs[:0], op.reply[:0]
+	d.opFree = append(d.opFree, op)
+}
+
+// sendReply encodes one single-op reply into the shard's reused buffer
+// and sends it toward the requester.
+func (d *Shard) sendReply(op *StoreOp, respOp byte, val []byte) {
+	d.Replies.Inc()
+	if d.tracer != nil {
+		d.tracer.End(op.Span)
+	}
+	d.scratch = AppendResp(d.scratch[:0], Resp{Op: respOp, ID: op.ID, Val: val})
+	d.sendRaw(op.From, d.scratch)
+}
+
+func (d *Shard) sendRaw(to int, payload []byte) {
+	if d.slot >= 0 {
+		// A reply racing the slot's eviction (defrag cutover, board
+		// death) is dropped; the client's timeout covers it.
+		_ = d.sh.SendDatagramSlot(d.slot, to, KindResp, payload)
+		return
+	}
+	must(d.sh.SendDatagram(to, KindResp, payload))
+}
+
+// shardGetDone completes a single-key GET probe.
+func shardGetDone(op *StoreOp, hit bool, val []byte) {
+	d := op.Shard
+	if hit {
+		d.sendReply(op, RespHit, val)
+	} else {
+		d.sendReply(op, RespMiss, nil)
+	}
+	d.freeOp(op)
+}
+
+// shardPutDone completes a PUT.
+func shardPutDone(op *StoreOp, ok bool, _ []byte) {
+	d := op.Shard
+	if ok {
+		d.sendReply(op, RespPut, nil)
+	} else {
+		d.sendReply(op, RespError, nil)
+	}
+	d.freeOp(op)
+}
+
 func (d *Shard) onDatagram(from int, kind uint8, payload []byte) {
 	if kind != KindReq {
+		return
+	}
+	if len(payload) > 0 && payload[0] == OpMGet {
+		d.onMGet(from, payload)
 		return
 	}
 	req, err := DecodeReq(payload)
@@ -391,43 +572,106 @@ func (d *Shard) onDatagram(from int, kind uint8, payload []byte) {
 		d.DecodeErrors.Inc()
 		return
 	}
-	var span obs.SpanID
+	op := d.allocOp()
+	op.ID, op.From, op.Kind = req.ID, from, req.Op
 	if d.tracer != nil {
-		span = d.tracer.Start(obs.ReqFlow(req.ID), "kvcache.shard", 0)
-	}
-	id := req.ID
-	reply := func(resp Resp) {
-		resp.ID = id
-		d.Replies.Inc()
-		if d.tracer != nil {
-			d.tracer.End(span)
-		}
-		if d.slot >= 0 {
-			// A reply racing the slot's eviction (defrag cutover, board
-			// death) is dropped; the client's timeout covers it.
-			_ = d.sh.SendDatagramSlot(d.slot, from, KindResp, EncodeResp(resp))
-			return
-		}
-		must(d.sh.SendDatagram(from, KindResp, EncodeResp(resp)))
+		op.Span = d.tracer.Start(obs.ReqFlow(req.ID), "kvcache.shard", 0)
 	}
 	switch req.Op {
 	case OpGet:
-		d.Store.Get(req.Key, func(hit bool, val []byte) {
-			if hit {
-				reply(Resp{Op: RespHit, Val: val})
-			} else {
-				reply(Resp{Op: RespMiss})
-			}
-		})
+		op.Done = shardGetDone
+		d.Store.Get(req.Key, op)
 	case OpPut:
-		d.Store.Put(req.Key, req.Val, func(ok bool, _ bool) {
-			if ok {
-				reply(Resp{Op: RespPut})
-			} else {
-				reply(Resp{Op: RespError})
-			}
-		})
+		op.Done = shardPutDone
+		d.Store.Put(req.Key, req.Val, op)
 	}
+}
+
+// onMGet terminates one batched multi-get: the keys are copied out of
+// the (reused) request buffer into the pooled op, probed sequentially
+// through the store, and answered as a single RespMGet datagram — the
+// batch amortizes the datagram and dispatch cost across its keys, which
+// is the E18b trade.
+func (d *Shard) onMGet(from int, payload []byte) {
+	op := d.allocOp()
+	// Parse inline into the pooled op (DecodeMReq's [][]byte would
+	// allocate per batch): header, then per-key length + bytes.
+	if len(payload) < 10 {
+		d.DecodeErrors.Inc()
+		d.freeOp(op)
+		return
+	}
+	id := binary.BigEndian.Uint64(payload[1:])
+	n := int(payload[9])
+	if n < 1 || n > MaxMultiKeys {
+		d.DecodeErrors.Inc()
+		d.freeOp(op)
+		return
+	}
+	off := 10
+	op.keyOffs = append(op.keyOffs, 0)
+	for i := 0; i < n; i++ {
+		if len(payload) < off+2 {
+			d.DecodeErrors.Inc()
+			d.freeOp(op)
+			return
+		}
+		kl := int(binary.BigEndian.Uint16(payload[off:]))
+		if kl == 0 || kl > MaxKeyBytes {
+			d.DecodeErrors.Inc()
+			d.freeOp(op)
+			return
+		}
+		off += 2
+		if len(payload) < off+kl {
+			d.DecodeErrors.Inc()
+			d.freeOp(op)
+			return
+		}
+		op.keys = append(op.keys, payload[off:off+kl]...)
+		op.keyOffs = append(op.keyOffs, len(op.keys))
+		off += kl
+	}
+	op.ID, op.From, op.Kind, op.keyIdx = id, from, OpMGet, 0
+	if d.tracer != nil {
+		op.Span = d.tracer.Start(obs.ReqFlow(id), "kvcache.shard", 0)
+	}
+	// Reply accumulates in the op (the shard scratch is per-probe).
+	op.reply = append(op.reply[:0], RespMGet)
+	op.reply = appendUint64(op.reply, id)
+	op.reply = append(op.reply, byte(n))
+	op.Done = shardMGetDone
+	d.mgetNext(op)
+}
+
+// mgetNext probes the next batched key, or sends the accumulated reply
+// when the batch is drained.
+func (d *Shard) mgetNext(op *StoreOp) {
+	if op.keyIdx >= len(op.keyOffs)-1 {
+		d.Replies.Inc()
+		if d.tracer != nil {
+			d.tracer.End(op.Span)
+		}
+		d.sendRaw(op.From, op.reply)
+		d.freeOp(op)
+		return
+	}
+	key := op.keys[op.keyOffs[op.keyIdx]:op.keyOffs[op.keyIdx+1]]
+	d.Store.Get(key, op)
+}
+
+// shardMGetDone folds one probe into the batched reply and advances.
+func shardMGetDone(op *StoreOp, hit bool, val []byte) {
+	if hit {
+		op.reply = append(op.reply, 1)
+		op.reply = appendUint16(op.reply, uint16(len(val)))
+		op.reply = append(op.reply, val...)
+	} else {
+		op.reply = append(op.reply, 0)
+		op.reply = appendUint16(op.reply, 0)
+	}
+	op.keyIdx++
+	op.Shard.mgetNext(op)
 }
 
 // Service is a deployed KV cache: client ends, a HaaS-leased shard pool,
@@ -699,6 +943,11 @@ type Result struct {
 
 	Evictions uint64
 	Rejected  uint64 // DRAM-pressure rejections at the stores
+	// Used/Slots aggregate directory occupancy across the shards' stores
+	// — the cuckoo-vs-set-associative A/B axis at matched hit rate.
+	// Kicks counts cuckoo relocations (zero on the set-associative store).
+	Used, Slots int
+	Kicks       uint64
 
 	// FabricReplies counts shard replies generated on-fabric, and
 	// HostRoundTrips the PCIe requests observed at shard shells over the
@@ -753,8 +1002,12 @@ func (sv *Service) Result() Result {
 		}
 		seen[h] = true
 		if d := sv.shards[h]; d != nil {
-			r.Evictions += d.Store.Stats.Evictions.Value()
-			r.Rejected += d.Store.Stats.Rejected.Value()
+			u, tot := d.Store.Occupancy()
+			r.Used += u
+			r.Slots += tot
+			r.Kicks += d.Store.Stats().CuckooKicks.Value()
+			r.Evictions += d.Store.Stats().Evictions.Value()
+			r.Rejected += d.Store.Stats().Rejected.Value()
 			r.FabricReplies += d.Replies.Value()
 			r.HostRoundTrips += sv.shells[h].Stats.PCIeReqs.Value()
 		}
@@ -772,13 +1025,51 @@ func Run(cfg Config) Result {
 	sv := NewService(cfg)
 	s := sv.s
 
+	batch := cfg.MGetBatch
+	if batch > MaxMultiKeys {
+		batch = MaxMultiKeys
+	}
 	gens := make([]*workload.OpenLoop, len(sv.clients))
+	var flushAll []func()
 	for ci, cl := range sv.clients {
 		cl := cl
 		rng := s.NewRand()
 		var zipf *rand.Zipf
 		if cfg.Zipf > 1 {
 			zipf = rand.NewZipf(rng, cfg.Zipf, 1, uint64(cfg.Keys-1))
+		}
+		// Per-client key/value scratch: Get/Put encode synchronously, so
+		// the buffers are free again when the call returns.
+		keyBuf := make([]byte, cfg.KeyBytes)
+		valBuf := make([]byte, cfg.ValBytes)
+
+		// Multi-get coalescing state: GET key indices buffered per
+		// keyspace slice (keys in one OpMGet must share a shard), with a
+		// reused key arena for the flush.
+		var pend [][]int
+		var mkeys [][]byte
+		var arena []byte
+		var flush func(sidx int)
+		if batch > 1 {
+			pend = make([][]int, cfg.Shards)
+			mkeys = make([][]byte, batch)
+			arena = make([]byte, batch*cfg.KeyBytes)
+			flush = func(sidx int) {
+				n := len(pend[sidx])
+				if n == 0 {
+					return
+				}
+				for i, idx := range pend[sidx] {
+					mkeys[i] = MakeKeyInto(arena[i*cfg.KeyBytes:(i+1)*cfg.KeyBytes], idx)
+				}
+				pend[sidx] = pend[sidx][:0]
+				cl.MultiGet(mkeys[:n], nil)
+			}
+			flushAll = append(flushAll, func() {
+				for sidx := range pend {
+					flush(sidx)
+				}
+			})
 		}
 		gens[ci] = workload.NewOpenLoop(s, cfg.ClientRate, func() {
 			idx := 0
@@ -787,11 +1078,19 @@ func Run(cfg Config) Result {
 			} else {
 				idx = rng.Intn(cfg.Keys)
 			}
-			key := MakeKey(idx, cfg.KeyBytes)
+			key := MakeKeyInto(keyBuf, idx)
 			if rng.Float64() < cfg.GetFraction {
+				if batch > 1 {
+					sidx := cl.ShardOf(key, cfg.Shards)
+					pend[sidx] = append(pend[sidx], idx)
+					if len(pend[sidx]) >= batch {
+						flush(sidx)
+					}
+					return
+				}
 				cl.Get(key, nil)
 			} else {
-				cl.Put(key, MakeVal(idx, cfg.ValBytes), nil)
+				cl.Put(key, MakeValInto(valBuf, idx), nil)
 			}
 		})
 		gens[ci].Start()
@@ -799,6 +1098,9 @@ func Run(cfg Config) Result {
 	s.ScheduleAt(cfg.Duration, func() {
 		for _, g := range gens {
 			g.Stop()
+		}
+		for _, f := range flushAll {
+			f()
 		}
 	})
 	s.RunUntil(cfg.Duration + cfg.Drain)
@@ -810,9 +1112,14 @@ func Run(cfg Config) Result {
 
 // MakeKey derives the fixed-width key for keyspace index idx.
 func MakeKey(idx, keyBytes int) []byte {
-	key := make([]byte, keyBytes)
+	return MakeKeyInto(make([]byte, keyBytes), idx)
+}
+
+// MakeKeyInto fills key (its length is the key width) for index idx —
+// the zero-alloc variant for callers with a reused buffer.
+func MakeKeyInto(key []byte, idx int) []byte {
 	binary.BigEndian.PutUint64(key, uint64(idx))
-	for i := 8; i < keyBytes; i++ {
+	for i := 8; i < len(key); i++ {
 		key[i] = 0xA5
 	}
 	return key
@@ -820,7 +1127,11 @@ func MakeKey(idx, keyBytes int) []byte {
 
 // MakeVal derives a deterministic value for keyspace index idx.
 func MakeVal(idx, valBytes int) []byte {
-	val := make([]byte, valBytes)
+	return MakeValInto(make([]byte, valBytes), idx)
+}
+
+// MakeValInto fills val for index idx (zero-alloc variant).
+func MakeValInto(val []byte, idx int) []byte {
 	for i := range val {
 		val[i] = byte(idx + i)
 	}

@@ -9,19 +9,33 @@ import (
 	"repro/internal/sim"
 )
 
-// StoreConfig sizes one shard's cache: a set-associative tag directory
-// held in role SRAM, with key+value payloads in the board's DRAM channel
-// through the ER's DRAM port. The directory is arrays, not Go maps —
-// iteration order can never leak into the model, mirroring the fixed
-// comparator tree a hardware lookup would be.
+// StoreConfig sizes one shard's cache: a tag directory held in role SRAM,
+// with key+value payloads in the board's DRAM channel through the ER's
+// DRAM port. The directory is arrays, not Go maps — iteration order can
+// never leak into the model, mirroring the fixed comparator tree a
+// hardware lookup would be.
+//
+// Two directory designs exist behind the Store interface: the default
+// set-associative directory (one hash selects a set of Ways candidates,
+// LRU eviction) and a cuckoo directory (two hashes give every key two
+// candidate buckets; inserts relocate residents along a bounded BFS path
+// before giving up and evicting). Cuckoo trades insert-time DRAM moves
+// for a flatter collision curve, i.e. higher usable occupancy at the same
+// hit rate — the ROADMAP item 6 A/B.
 type StoreConfig struct {
-	// Sets x Ways is the directory geometry.
+	// Sets x Ways is the directory geometry (buckets x slots for cuckoo;
+	// cuckoo rounds Sets up to a power of two for the partner-bucket XOR).
 	Sets, Ways int
 	// SlotBytes is the DRAM arena reserved per directory slot (key
 	// followed by value; an entry larger than this is rejected).
 	SlotBytes int
 	// Base is the DRAM byte address of slot 0.
 	Base int64
+
+	// Cuckoo selects the cuckoo directory; CuckooKicks bounds the BFS
+	// relocation path length per insert (default 8).
+	Cuckoo      bool
+	CuckooKicks int
 }
 
 // DefaultStoreConfig sizes a shard at 1024 sets x 4 ways x 1 KiB slots —
@@ -38,6 +52,62 @@ type StoreStats struct {
 	Evictions  metrics.Counter // valid entry displaced by a Put
 	Collisions metrics.Counter // tag matched but DRAM key differed (hash alias)
 	Rejected   metrics.Counter // DRAM queue full: served as miss / dropped put
+
+	// Cuckoo-only counters (zero on the set-associative store).
+	CuckooKicks  metrics.Counter // resident entries relocated by inserts
+	CuckooAborts metrics.Counter // relocation chains invalidated mid-flight
+}
+
+// StoreOp is one pooled per-request completion context. Done fires
+// exactly once with (op, ok, val): for Get, ok means hit and val aliases
+// a reused DRAM buffer valid only for the duration of the call; for Put,
+// ok means the entry was accepted (val is nil) and Evicted reports
+// whether a resident entry was displaced. Ops are pooled by their owner
+// (the Shard), which is why completion carries the op back: the Done
+// callback is a static function, not a per-request closure.
+type StoreOp struct {
+	Done func(op *StoreOp, ok bool, val []byte)
+
+	Evicted bool
+
+	// Caller context, opaque to the store.
+	Shard *Shard
+	ID    uint64
+	From  int
+	Kind  byte
+	Span  obs.SpanID
+
+	// Multi-get accumulation state (shard-owned, see mgetStep).
+	keys    []byte // concatenated key bytes, copied out of the request
+	keyOffs []int  // len(keys) prefix offsets; keyOffs[i+1]-keyOffs[i] = len(key i)
+	keyIdx  int
+	reply   []byte // reply datagram under construction
+}
+
+// Store is one shard's DRAM-backed cache behind either directory design.
+type Store interface {
+	// Get probes key; op.Done(op, hit, val) fires exactly once. The key
+	// is only read during the call (implementations copy what they need),
+	// so callers may reuse the backing buffer immediately.
+	Get(key []byte, op *StoreOp)
+	// Put inserts or overwrites key=val with the same aliasing contract.
+	Put(key, val []byte, op *StoreOp)
+	// Stats exposes the shared counter block.
+	Stats() *StoreStats
+	// Occupancy reports used and total directory slots.
+	Occupancy() (used, total int)
+	// Config returns the store geometry.
+	Config() StoreConfig
+}
+
+// NewStore builds the directory cfg selects (set-associative unless
+// cfg.Cuckoo). The arena [Base, Base+Sets*Ways*SlotBytes) must fit the
+// controller's capacity.
+func NewStore(s *sim.Simulation, mem *dram.Controller, cfg StoreConfig) Store {
+	if cfg.Cuckoo {
+		return NewCuckooStore(s, mem, cfg)
+	}
+	return NewSetAssocStore(s, mem, cfg)
 }
 
 // tagEntry is one SRAM directory slot.
@@ -49,47 +119,126 @@ type tagEntry struct {
 	last   uint64 // LRU clock at last touch
 }
 
-// Store is one shard's DRAM-backed cache.
-type Store struct {
+func registerStoreStats(s *sim.Simulation, st *StoreStats) {
+	if reg := obs.RegistryOf(s); reg != nil {
+		reg.Counter("kvcache.store_hits", "reqs", "kvcache", "GETs answered from the cache", &st.Hits)
+		reg.Counter("kvcache.store_misses", "reqs", "kvcache", "GETs not present", &st.Misses)
+		reg.Counter("kvcache.store_puts", "reqs", "kvcache", "PUTs applied", &st.Puts)
+		reg.Counter("kvcache.store_evictions", "entries", "kvcache", "valid entries displaced by PUTs", &st.Evictions)
+		reg.Counter("kvcache.store_collisions", "reqs", "kvcache", "tag hits disproved by the DRAM key", &st.Collisions)
+		reg.Counter("kvcache.store_rejected", "reqs", "kvcache", "DRAM queue-full rejections", &st.Rejected)
+		reg.Counter("kvcache.cuckoo_kicks", "entries", "kvcache", "resident entries relocated by inserts", &st.CuckooKicks)
+		reg.Counter("kvcache.cuckoo_aborts", "chains", "kvcache", "relocation chains invalidated mid-flight", &st.CuckooAborts)
+	}
+}
+
+// ---- Set-associative directory ----
+
+// SetAssocStore is the default shard cache: one hash selects a set, the
+// Ways candidates are compared, and a full set evicts LRU.
+type SetAssocStore struct {
 	s    *sim.Simulation
 	mem  *dram.Controller
 	cfg  StoreConfig
 	tags []tagEntry
 	tick uint64
 
-	Stats StoreStats
+	// opFree pools the per-request DRAM-confirm state; wbuf is the
+	// reused key+value concatenation buffer for writes (the DRAM
+	// controller copies it synchronously).
+	opFree []*saOp
+	wbuf   []byte
+
+	stats StoreStats
 }
 
-// NewStore builds a store over mem. The arena [Base, Base+Sets*Ways*SlotBytes)
-// must fit the controller's capacity.
-func NewStore(s *sim.Simulation, mem *dram.Controller, cfg StoreConfig) *Store {
+// saOp carries one in-flight DRAM confirm/write for the set-assoc store.
+// The key is copied in (the request buffer is recycled long before the
+// DRAM transaction completes).
+type saOp struct {
+	st      *SetAssocStore
+	op      *StoreOp
+	key     []byte
+	kl, vl  int
+	evicted bool
+}
+
+// NewSetAssocStore builds a set-associative store over mem.
+func NewSetAssocStore(s *sim.Simulation, mem *dram.Controller, cfg StoreConfig) *SetAssocStore {
 	if cfg.Sets <= 0 || cfg.Ways <= 0 || cfg.SlotBytes <= 0 {
 		panic(fmt.Sprintf("kvcache: invalid store config %+v", cfg))
 	}
-	st := &Store{s: s, mem: mem, cfg: cfg, tags: make([]tagEntry, cfg.Sets*cfg.Ways)}
-	if reg := obs.RegistryOf(s); reg != nil {
-		reg.Counter("kvcache.store_hits", "reqs", "kvcache", "GETs answered from the cache", &st.Stats.Hits)
-		reg.Counter("kvcache.store_misses", "reqs", "kvcache", "GETs not present", &st.Stats.Misses)
-		reg.Counter("kvcache.store_puts", "reqs", "kvcache", "PUTs applied", &st.Stats.Puts)
-		reg.Counter("kvcache.store_evictions", "entries", "kvcache", "valid entries displaced by PUTs", &st.Stats.Evictions)
-		reg.Counter("kvcache.store_collisions", "reqs", "kvcache", "tag hits disproved by the DRAM key", &st.Stats.Collisions)
-		reg.Counter("kvcache.store_rejected", "reqs", "kvcache", "DRAM queue-full rejections", &st.Stats.Rejected)
-	}
+	st := &SetAssocStore{s: s, mem: mem, cfg: cfg, tags: make([]tagEntry, cfg.Sets*cfg.Ways)}
+	registerStoreStats(s, &st.stats)
 	return st
 }
 
 // Config returns the store geometry.
-func (st *Store) Config() StoreConfig { return st.cfg }
+func (st *SetAssocStore) Config() StoreConfig { return st.cfg }
 
-func (st *Store) slotAddr(set, way int) int64 {
+// Stats exposes the counter block.
+func (st *SetAssocStore) Stats() *StoreStats { return &st.stats }
+
+// Occupancy reports used and total directory slots.
+func (st *SetAssocStore) Occupancy() (used, total int) {
+	for i := range st.tags {
+		if st.tags[i].used {
+			used++
+		}
+	}
+	return used, len(st.tags)
+}
+
+func (st *SetAssocStore) slotAddr(set, way int) int64 {
 	return st.cfg.Base + int64((set*st.cfg.Ways+way)*st.cfg.SlotBytes)
 }
 
+func (st *SetAssocStore) allocOp() *saOp {
+	if n := len(st.opFree); n > 0 {
+		o := st.opFree[n-1]
+		st.opFree = st.opFree[:n-1]
+		return o
+	}
+	return &saOp{st: st}
+}
+
+func (st *SetAssocStore) freeOp(o *saOp) {
+	o.op = nil
+	st.opFree = append(st.opFree, o)
+}
+
+// saGetDone completes a Get's DRAM confirm read.
+func saGetDone(arg any, data []byte) {
+	o := arg.(*saOp)
+	st, op := o.st, o.op
+	if !bytesEqual(data[:o.kl], o.key) {
+		st.stats.Collisions.Inc()
+		st.stats.Misses.Inc()
+		st.freeOp(o)
+		op.Done(op, false, nil)
+		return
+	}
+	st.stats.Hits.Inc()
+	val := data[o.kl : o.kl+o.vl]
+	st.freeOp(o)
+	op.Done(op, true, val)
+}
+
+// saPutDone completes a Put's DRAM write.
+func saPutDone(arg any, _ []byte) {
+	o := arg.(*saOp)
+	st, op, evicted := o.st, o.op, o.evicted
+	st.stats.Puts.Inc()
+	st.freeOp(o)
+	op.Evicted = evicted
+	op.Done(op, true, nil)
+}
+
 // Get looks key up: an SRAM directory probe, then (on a tag hit) a DRAM
-// read of the slot to fetch the value and disprove hash aliases. done
+// read of the slot to fetch the value and disprove hash aliases. op.Done
 // fires exactly once; hit=false covers absent keys, aliases, and DRAM
 // pressure rejections alike — a cache never owes an answer, only speed.
-func (st *Store) Get(key []byte, done func(hit bool, val []byte)) {
+func (st *SetAssocStore) Get(key []byte, op *StoreOp) {
 	h := keyHash(key)
 	set := int(h % uint64(st.cfg.Sets))
 	st.tick++
@@ -99,35 +248,31 @@ func (st *Store) Get(key []byte, done func(hit bool, val []byte)) {
 			continue
 		}
 		e.last = st.tick
-		kl, vl := int(e.keyLen), int(e.valLen)
-		err := st.mem.Read(st.slotAddr(set, w), kl+vl, func(data []byte) {
-			if !bytesEqual(data[:kl], key) {
-				st.Stats.Collisions.Inc()
-				st.Stats.Misses.Inc()
-				done(false, nil)
-				return
-			}
-			st.Stats.Hits.Inc()
-			done(true, data[kl:kl+vl])
-		})
+		o := st.allocOp()
+		o.op = op
+		o.key = append(o.key[:0], key...)
+		o.kl, o.vl = int(e.keyLen), int(e.valLen)
+		err := st.mem.ReadCall(st.slotAddr(set, w), o.kl+o.vl, saGetDone, o)
 		if err != nil {
-			st.Stats.Rejected.Inc()
-			st.Stats.Misses.Inc()
-			done(false, nil)
+			st.stats.Rejected.Inc()
+			st.stats.Misses.Inc()
+			st.freeOp(o)
+			op.Done(op, false, nil)
 		}
 		return
 	}
-	st.Stats.Misses.Inc()
-	done(false, nil)
+	st.stats.Misses.Inc()
+	op.Done(op, false, nil)
 }
 
 // Put inserts or overwrites key. A full set evicts its least recently
-// used way. done fires exactly once with ok=false when the entry is too
-// large for a slot or the DRAM controller rejected the write (the entry
-// is then invalidated rather than left stale).
-func (st *Store) Put(key, val []byte, done func(ok bool, evicted bool)) {
+// used way. op.Done fires exactly once with ok=false when the entry is
+// too large for a slot or the DRAM controller rejected the write (the
+// entry is then invalidated rather than left stale).
+func (st *SetAssocStore) Put(key, val []byte, op *StoreOp) {
 	if len(key)+len(val) > st.cfg.SlotBytes {
-		done(false, false)
+		op.Evicted = false
+		op.Done(op, false, nil)
 		return
 	}
 	h := keyHash(key)
@@ -159,21 +304,21 @@ func (st *Store) Put(key, val []byte, done func(ok bool, evicted bool)) {
 			}
 		}
 		evicted = true
-		st.Stats.Evictions.Inc()
+		st.stats.Evictions.Inc()
 	}
 
 	e := &st.tags[set*st.cfg.Ways+way]
-	buf := make([]byte, len(key)+len(val))
-	copy(buf, key)
-	copy(buf[len(key):], val)
-	err := st.mem.Write(st.slotAddr(set, way), buf, func() {
-		st.Stats.Puts.Inc()
-		done(true, evicted)
-	})
+	st.wbuf = append(append(st.wbuf[:0], key...), val...)
+	o := st.allocOp()
+	o.op = op
+	o.evicted = evicted
+	err := st.mem.WriteCall(st.slotAddr(set, way), st.wbuf, saPutDone, o)
 	if err != nil {
-		st.Stats.Rejected.Inc()
+		st.stats.Rejected.Inc()
 		e.used = false // never leave a tag pointing at unwritten DRAM
-		done(false, evicted)
+		st.freeOp(o)
+		op.Evicted = evicted
+		op.Done(op, false, nil)
 		return
 	}
 	e.used = true
@@ -181,6 +326,403 @@ func (st *Store) Put(key, val []byte, done func(ok bool, evicted bool)) {
 	e.keyLen = uint16(len(key))
 	e.valLen = uint16(len(val))
 	e.last = st.tick
+}
+
+// ---- Cuckoo directory ----
+
+// CuckooStore hashes every key to two buckets (b2 = b1 XOR a second hash
+// of the key, the standard partner-bucket trick), probing 2 x Ways slots
+// per lookup. Inserts that find both buckets full relocate residents
+// along a BFS-shortest eviction path of at most CuckooKicks moves — each
+// move is a real DRAM read+write of the resident's slot, which is the
+// cost the A/B against the set-associative directory measures. When no
+// path exists within the bound, the insert falls back to evicting the
+// LRU way of the primary bucket (cache semantics: occupancy pressure
+// costs hit rate, never correctness).
+type CuckooStore struct {
+	s    *sim.Simulation
+	mem  *dram.Controller
+	cfg  StoreConfig
+	mask uint64 // Sets-1 (Sets is a power of two)
+	tags []tagEntry
+	tick uint64
+
+	opFree []*ckOp
+	wbuf   []byte
+
+	// BFS scratch, reused across inserts.
+	bfsSlot []int32 // visited slot ids in visit order
+	bfsPrev []int32 // parent index in bfsSlot (-1 = root)
+
+	stats StoreStats
+}
+
+// ckOp carries one in-flight cuckoo operation: a Get's DRAM confirm, a
+// fast-path Put write, or a relocation chain (read resident, write it to
+// its partner bucket, repeat up the path, finally write the new entry).
+type ckOp struct {
+	st      *CuckooStore
+	op      *StoreOp
+	key     []byte
+	val     []byte
+	kl, vl  int
+	evicted bool
+
+	// Relocation chain state: path[0] is the slot the new entry lands
+	// in; path[i+1] is where path[i]'s resident moves to. idx walks from
+	// the end (the free slot) backwards.
+	path []int32
+	idx  int
+	get  bool
+}
+
+// NewCuckooStore builds a cuckoo store over mem. Sets is rounded up to a
+// power of two (the partner bucket is b XOR h2).
+func NewCuckooStore(s *sim.Simulation, mem *dram.Controller, cfg StoreConfig) *CuckooStore {
+	if cfg.Sets <= 0 || cfg.Ways <= 0 || cfg.SlotBytes <= 0 {
+		panic(fmt.Sprintf("kvcache: invalid store config %+v", cfg))
+	}
+	sets := 1
+	for sets < cfg.Sets {
+		sets <<= 1
+	}
+	cfg.Sets = sets
+	if cfg.CuckooKicks <= 0 {
+		cfg.CuckooKicks = 8
+	}
+	st := &CuckooStore{
+		s: s, mem: mem, cfg: cfg, mask: uint64(sets - 1),
+		tags: make([]tagEntry, sets*cfg.Ways),
+	}
+	registerStoreStats(s, &st.stats)
+	if reg := obs.RegistryOf(s); reg != nil {
+		reg.Counter("kvcache.cuckoo_kicks", "moves", "kvcache", "resident entries relocated by cuckoo inserts", &st.stats.CuckooKicks)
+		reg.Counter("kvcache.cuckoo_aborts", "chains", "kvcache", "relocation chains invalidated mid-flight", &st.stats.CuckooAborts)
+	}
+	return st
+}
+
+// Config returns the store geometry (with Sets rounded up).
+func (st *CuckooStore) Config() StoreConfig { return st.cfg }
+
+// Stats exposes the counter block.
+func (st *CuckooStore) Stats() *StoreStats { return &st.stats }
+
+// Occupancy reports used and total directory slots.
+func (st *CuckooStore) Occupancy() (used, total int) {
+	for i := range st.tags {
+		if st.tags[i].used {
+			used++
+		}
+	}
+	return used, len(st.tags)
+}
+
+// altHash mixes h into the partner-bucket offset. It must be nonzero so
+// the two candidate buckets always differ (splitmix64 finalizer).
+func (st *CuckooStore) altHash(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	o := h & st.mask
+	if o == 0 {
+		o = 1
+	}
+	return o
+}
+
+func (st *CuckooStore) buckets(h uint64) (int, int) {
+	b1 := int(h & st.mask)
+	b2 := int((uint64(b1) ^ st.altHash(h)) & st.mask)
+	return b1, b2
+}
+
+// altBucket returns the partner bucket of slot (b) holding hash h.
+func (st *CuckooStore) altBucket(b int, h uint64) int {
+	return int((uint64(b) ^ st.altHash(h)) & st.mask)
+}
+
+func (st *CuckooStore) slotAddr(slot int) int64 {
+	return st.cfg.Base + int64(slot*st.cfg.SlotBytes)
+}
+
+func (st *CuckooStore) allocOp() *ckOp {
+	if n := len(st.opFree); n > 0 {
+		o := st.opFree[n-1]
+		st.opFree = st.opFree[:n-1]
+		return o
+	}
+	return &ckOp{st: st}
+}
+
+func (st *CuckooStore) freeOp(o *ckOp) {
+	o.op = nil
+	o.path = o.path[:0]
+	st.opFree = append(st.opFree, o)
+}
+
+// ckGetDone completes a Get's DRAM confirm read.
+func ckGetDone(arg any, data []byte) {
+	o := arg.(*ckOp)
+	st, op := o.st, o.op
+	if !bytesEqual(data[:o.kl], o.key) {
+		st.stats.Collisions.Inc()
+		st.stats.Misses.Inc()
+		st.freeOp(o)
+		op.Done(op, false, nil)
+		return
+	}
+	st.stats.Hits.Inc()
+	val := data[o.kl : o.kl+o.vl]
+	st.freeOp(o)
+	op.Done(op, true, val)
+}
+
+// Get probes both candidate buckets, then confirms a tag hit in DRAM.
+func (st *CuckooStore) Get(key []byte, op *StoreOp) {
+	h := keyHash(key)
+	b1, b2 := st.buckets(h)
+	st.tick++
+	for _, b := range [2]int{b1, b2} {
+		for w := 0; w < st.cfg.Ways; w++ {
+			slot := b*st.cfg.Ways + w
+			e := &st.tags[slot]
+			if !e.used || e.hash != h || int(e.keyLen) != len(key) {
+				continue
+			}
+			e.last = st.tick
+			o := st.allocOp()
+			o.op = op
+			o.get = true
+			o.key = append(o.key[:0], key...)
+			o.kl, o.vl = int(e.keyLen), int(e.valLen)
+			err := st.mem.ReadCall(st.slotAddr(slot), o.kl+o.vl, ckGetDone, o)
+			if err != nil {
+				st.stats.Rejected.Inc()
+				st.stats.Misses.Inc()
+				st.freeOp(o)
+				op.Done(op, false, nil)
+			}
+			return
+		}
+	}
+	st.stats.Misses.Inc()
+	op.Done(op, false, nil)
+}
+
+// ckPutDone completes the final (new-entry) DRAM write of a Put.
+func ckPutDone(arg any, _ []byte) {
+	o := arg.(*ckOp)
+	st, op, evicted := o.st, o.op, o.evicted
+	st.stats.Puts.Inc()
+	st.freeOp(o)
+	op.Evicted = evicted
+	op.Done(op, true, nil)
+}
+
+// writeEntry issues the new entry's tag update and DRAM write into slot.
+func (st *CuckooStore) writeEntry(o *ckOp, slot int, h uint64, key, val []byte) {
+	e := &st.tags[slot]
+	st.wbuf = append(append(st.wbuf[:0], key...), val...)
+	err := st.mem.WriteCall(st.slotAddr(slot), st.wbuf, ckPutDone, o)
+	if err != nil {
+		st.stats.Rejected.Inc()
+		e.used = false
+		evicted := o.evicted
+		op := o.op
+		st.freeOp(o)
+		op.Evicted = evicted
+		op.Done(op, false, nil)
+		return
+	}
+	e.used = true
+	e.hash = h
+	e.keyLen = uint16(len(key))
+	e.valLen = uint16(len(val))
+	e.last = st.tick
+}
+
+// Put inserts or overwrites key=val. Fast paths (overwrite, free way)
+// cost one DRAM write like the set-associative store; a full pair of
+// buckets triggers the BFS relocation chain.
+func (st *CuckooStore) Put(key, val []byte, op *StoreOp) {
+	if len(key)+len(val) > st.cfg.SlotBytes {
+		op.Evicted = false
+		op.Done(op, false, nil)
+		return
+	}
+	h := keyHash(key)
+	b1, b2 := st.buckets(h)
+	st.tick++
+
+	// Overwrite an existing entry for the same hash/keyLen first.
+	for _, b := range [2]int{b1, b2} {
+		for w := 0; w < st.cfg.Ways; w++ {
+			slot := b*st.cfg.Ways + w
+			e := &st.tags[slot]
+			if e.used && e.hash == h && int(e.keyLen) == len(key) {
+				o := st.allocOp()
+				o.op = op
+				st.writeEntry(o, slot, h, key, val)
+				return
+			}
+		}
+	}
+	// Then a free way in either bucket (primary first, like the paper's
+	// d-ary cuckoo insert).
+	for _, b := range [2]int{b1, b2} {
+		for w := 0; w < st.cfg.Ways; w++ {
+			slot := b*st.cfg.Ways + w
+			if !st.tags[slot].used {
+				o := st.allocOp()
+				o.op = op
+				st.writeEntry(o, slot, h, key, val)
+				return
+			}
+		}
+	}
+	// Both buckets full: BFS for the shortest relocation chain.
+	if path := st.findPath(b1, b2); path != nil {
+		o := st.allocOp()
+		o.op = op
+		o.key = append(o.key[:0], key...)
+		o.val = append(o.val[:0], val...)
+		o.path = append(o.path[:0], path...)
+		o.idx = len(o.path) - 1
+		st.moveNext(o)
+		return
+	}
+	// No path within the kick bound: evict the primary bucket's LRU way.
+	way, lru := 0, uint64(1<<63-1)
+	for w := 0; w < st.cfg.Ways; w++ {
+		if e := &st.tags[b1*st.cfg.Ways+w]; e.last < lru {
+			lru, way = e.last, w
+		}
+	}
+	st.stats.Evictions.Inc()
+	o := st.allocOp()
+	o.op = op
+	o.evicted = true
+	st.writeEntry(o, b1*st.cfg.Ways+way, h, key, val)
+}
+
+// findPath BFS-searches for a chain slot_0 <- slot_1 <- ... <- slot_k
+// where slot_k's partner bucket has a free way, k < CuckooKicks, and
+// slot_0 is in one of the insert's candidate buckets. It returns the
+// slot ids, ending with the free slot the chain drains into.
+func (st *CuckooStore) findPath(b1, b2 int) []int32 {
+	st.bfsSlot = st.bfsSlot[:0]
+	st.bfsPrev = st.bfsPrev[:0]
+	for _, b := range [2]int{b1, b2} {
+		for w := 0; w < st.cfg.Ways; w++ {
+			st.bfsSlot = append(st.bfsSlot, int32(b*st.cfg.Ways+w))
+			st.bfsPrev = append(st.bfsPrev, -1)
+		}
+	}
+	// Depth-tracking: nodes [lo, hi) are the current BFS level.
+	lo, hi := 0, len(st.bfsSlot)
+	for depth := 0; depth < st.cfg.CuckooKicks && lo < hi; depth++ {
+		for i := lo; i < hi; i++ {
+			slot := int(st.bfsSlot[i])
+			e := &st.tags[slot]
+			alt := st.altBucket(slot/st.cfg.Ways, e.hash)
+			// A free way in the resident's partner bucket ends the search.
+			for w := 0; w < st.cfg.Ways; w++ {
+				dst := alt*st.cfg.Ways + w
+				if !st.tags[dst].used {
+					path := []int32{int32(dst)}
+					for j := i; j >= 0; j = int(st.bfsPrev[j]) {
+						path = append(path, st.bfsSlot[j])
+					}
+					// Reverse into insert-order: path[0] = candidate
+					// bucket slot, ..., path[len-1] = free slot.
+					for a, b := 0, len(path)-1; a < b; a, b = a+1, b-1 {
+						path[a], path[b] = path[b], path[a]
+					}
+					return path
+				}
+			}
+			// Otherwise the partner bucket's residents are the next level.
+			if len(st.bfsSlot) < 4*st.cfg.Sets { // frontier bound
+				for w := 0; w < st.cfg.Ways; w++ {
+					st.bfsSlot = append(st.bfsSlot, int32(alt*st.cfg.Ways+w))
+					st.bfsPrev = append(st.bfsPrev, int32(i))
+				}
+			}
+		}
+		lo, hi = hi, len(st.bfsSlot)
+	}
+	return nil
+}
+
+// moveNext relocates the resident of path[idx-1] into path[idx] (a slot
+// known free when the chain was planned), walking idx toward the head of
+// the path; when idx reaches 0 the new entry is written into path[0].
+// Chains interleave with other traffic at DRAM latency, so each step
+// re-validates its source and destination and aborts the chain into a
+// plain LRU eviction when the directory moved underneath it.
+func (st *CuckooStore) moveNext(o *ckOp) {
+	if o.idx == 0 {
+		h := keyHash(o.key)
+		st.writeEntry(o, int(o.path[0]), h, o.key, o.val)
+		return
+	}
+	src, dst := int(o.path[o.idx-1]), int(o.path[o.idx])
+	se, de := &st.tags[src], &st.tags[dst]
+	if !se.used || de.used || st.altBucket(src/st.cfg.Ways, se.hash)*st.cfg.Ways > dst ||
+		dst >= (st.altBucket(src/st.cfg.Ways, se.hash)+1)*st.cfg.Ways {
+		st.abortChain(o)
+		return
+	}
+	o.kl, o.vl = int(se.keyLen), int(se.valLen)
+	if err := st.mem.ReadCall(st.slotAddr(src), o.kl+o.vl, ckMoveRead, o); err != nil {
+		st.stats.Rejected.Inc()
+		st.abortChain(o)
+	}
+}
+
+// ckMoveRead has the resident's bytes; write them into the destination.
+func ckMoveRead(arg any, data []byte) {
+	o := arg.(*ckOp)
+	st := o.st
+	src, dst := int(o.path[o.idx-1]), int(o.path[o.idx])
+	se, de := &st.tags[src], &st.tags[dst]
+	if !se.used || de.used {
+		st.abortChain(o)
+		return
+	}
+	if err := st.mem.WriteCall(st.slotAddr(dst), data, ckMoveWrite, o); err != nil {
+		st.stats.Rejected.Inc()
+		st.abortChain(o)
+		return
+	}
+	// Commit the relocation in the directory at write issue: the tag and
+	// its payload land together from the service's point of view because
+	// reads of the moved entry now target the destination slot, which the
+	// controller serializes behind this write.
+	*de = *se
+	se.used = false
+	st.stats.CuckooKicks.Inc()
+}
+
+// ckMoveWrite completes one relocation; continue up the chain.
+func ckMoveWrite(arg any, _ []byte) {
+	o := arg.(*ckOp)
+	o.idx--
+	o.st.moveNext(o)
+}
+
+// abortChain gives up on a relocation chain (directory changed or DRAM
+// pressure) and falls back to evicting the primary candidate slot.
+func (st *CuckooStore) abortChain(o *ckOp) {
+	st.stats.CuckooAborts.Inc()
+	slot := int(o.path[0])
+	if st.tags[slot].used {
+		st.stats.Evictions.Inc()
+		o.evicted = true
+	}
+	h := keyHash(o.key)
+	st.writeEntry(o, slot, h, o.key, o.val)
 }
 
 func bytesEqual(a, b []byte) bool {

@@ -2,52 +2,89 @@ package kvcache
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 
 	"repro/internal/dram"
 	"repro/internal/sim"
 )
 
-func newTestStore(t *testing.T, cfg StoreConfig) (*sim.Simulation, *Store) {
+func newTestStore(t *testing.T, cfg StoreConfig) (*sim.Simulation, *SetAssocStore) {
 	t.Helper()
 	s := sim.New(1)
 	mem := dram.New(s, dram.DefaultConfig())
-	return s, NewStore(s, mem, cfg)
+	return s, NewSetAssocStore(s, mem, cfg)
+}
+
+// storeGet runs one Get to completion and returns (hit, copied value).
+func storeGet(s *sim.Simulation, st Store, key []byte) (bool, []byte) {
+	var hit bool
+	var got []byte
+	op := &StoreOp{Done: func(_ *StoreOp, ok bool, val []byte) {
+		hit = ok
+		got = append([]byte(nil), val...)
+	}}
+	st.Get(key, op)
+	s.RunUntil(s.Now() + sim.Millisecond)
+	return hit, got
+}
+
+// storePut runs one Put to completion and returns (ok, evicted).
+func storePut(s *sim.Simulation, st Store, key, val []byte) (bool, bool) {
+	var ok, evicted bool
+	op := &StoreOp{Done: func(o *StoreOp, k bool, _ []byte) {
+		ok, evicted = k, o.Evicted
+	}}
+	st.Put(key, val, op)
+	s.RunUntil(s.Now() + sim.Millisecond)
+	return ok, evicted
 }
 
 func TestStorePutGet(t *testing.T) {
 	s, st := newTestStore(t, DefaultStoreConfig())
 	key, val := []byte("hello"), []byte("world")
 
-	var putOK bool
-	st.Put(key, val, func(ok, evicted bool) { putOK = ok })
-	s.RunUntil(sim.Millisecond)
-	if !putOK {
+	if ok, _ := storePut(s, st, key, val); !ok {
 		t.Fatal("Put failed")
 	}
-
-	var hit bool
-	var got []byte
-	st.Get(key, func(h bool, v []byte) { hit = h; got = append([]byte(nil), v...) })
-	s.RunUntil(2 * sim.Millisecond)
+	hit, got := storeGet(s, st, key)
 	if !hit || !bytes.Equal(got, val) {
 		t.Fatalf("Get: hit=%v val=%q, want hit=true val=%q", hit, got, val)
 	}
-	if st.Stats.Hits.Value() != 1 || st.Stats.Puts.Value() != 1 {
-		t.Fatalf("stats: %+v", st.Stats)
+	if st.Stats().Hits.Value() != 1 || st.Stats().Puts.Value() != 1 {
+		t.Fatalf("stats: hits=%d puts=%d", st.Stats().Hits.Value(), st.Stats().Puts.Value())
 	}
 }
 
 func TestStoreMissAbsent(t *testing.T) {
 	s, st := newTestStore(t, DefaultStoreConfig())
-	var called, hit bool
-	st.Get([]byte("nope"), func(h bool, _ []byte) { called, hit = true, h })
-	s.RunUntil(sim.Millisecond)
-	if !called || hit {
-		t.Fatalf("absent key: called=%v hit=%v", called, hit)
+	hit, _ := storeGet(s, st, []byte("nope"))
+	if hit {
+		t.Fatal("absent key hit")
 	}
-	if st.Stats.Misses.Value() != 1 {
-		t.Fatalf("misses = %d, want 1", st.Stats.Misses.Value())
+	if st.Stats().Misses.Value() != 1 {
+		t.Fatalf("misses = %d, want 1", st.Stats().Misses.Value())
+	}
+}
+
+func TestStoreKeyAliasSafe(t *testing.T) {
+	// The store must not retain the caller's key buffer across its async
+	// DRAM transaction: mutate the buffer right after Get returns.
+	s, st := newTestStore(t, DefaultStoreConfig())
+	key := []byte("stable-key")
+	if ok, _ := storePut(s, st, key, []byte("v")); !ok {
+		t.Fatal("Put failed")
+	}
+	buf := append([]byte(nil), key...)
+	var hit bool
+	op := &StoreOp{Done: func(_ *StoreOp, ok bool, _ []byte) { hit = ok }}
+	st.Get(buf, op)
+	for i := range buf {
+		buf[i] = 0xFF // simulate the datagram buffer being recycled
+	}
+	s.RunUntil(s.Now() + sim.Millisecond)
+	if !hit {
+		t.Fatal("Get must compare against its own key copy, not the mutated caller buffer")
 	}
 }
 
@@ -58,17 +95,12 @@ func TestStoreEvictsLRU(t *testing.T) {
 	s, st := newTestStore(t, cfg)
 
 	put := func(k, v string) {
-		st.Put([]byte(k), []byte(v), func(ok, _ bool) {
-			if !ok {
-				t.Fatalf("Put(%q) failed", k)
-			}
-		})
-		s.RunUntil(s.Now() + sim.Millisecond)
+		if ok, _ := storePut(s, st, []byte(k), []byte(v)); !ok {
+			t.Fatalf("Put(%q) failed", k)
+		}
 	}
 	get := func(k string) bool {
-		var hit bool
-		st.Get([]byte(k), func(h bool, _ []byte) { hit = h })
-		s.RunUntil(s.Now() + sim.Millisecond)
+		hit, _ := storeGet(s, st, []byte(k))
 		return hit
 	}
 
@@ -78,8 +110,8 @@ func TestStoreEvictsLRU(t *testing.T) {
 		t.Fatal("a should hit before eviction")
 	}
 	put("c", "3") // evicts b
-	if st.Stats.Evictions.Value() != 1 {
-		t.Fatalf("evictions = %d, want 1", st.Stats.Evictions.Value())
+	if st.Stats().Evictions.Value() != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Stats().Evictions.Value())
 	}
 	if get("b") {
 		t.Fatal("b should have been evicted")
@@ -93,7 +125,8 @@ func TestStoreRejectsOversized(t *testing.T) {
 	cfg := StoreConfig{Sets: 4, Ways: 2, SlotBytes: 16}
 	s, st := newTestStore(t, cfg)
 	var called, ok bool
-	st.Put([]byte("key"), make([]byte, 32), func(o, _ bool) { called, ok = true, o })
+	op := &StoreOp{Done: func(_ *StoreOp, o bool, _ []byte) { called, ok = true, o }}
+	st.Put([]byte("key"), make([]byte, 32), op)
 	s.RunUntil(sim.Millisecond)
 	if !called || ok {
 		t.Fatalf("oversized put: called=%v ok=%v, want called=true ok=false", called, ok)
@@ -106,23 +139,168 @@ func TestStoreCollisionDisprovedByDRAM(t *testing.T) {
 	// false tag hit into a miss and count the collision.
 	cfg := StoreConfig{Sets: 1, Ways: 1, SlotBytes: 64}
 	s, st := newTestStore(t, cfg)
-	st.Put([]byte("aaaa"), []byte("v"), func(ok, _ bool) {
-		if !ok {
-			t.Fatal("Put failed")
-		}
-	})
-	s.RunUntil(sim.Millisecond)
+	if ok, _ := storePut(s, st, []byte("aaaa"), []byte("v")); !ok {
+		t.Fatal("Put failed")
+	}
 
 	alias := []byte("bbbb")
 	st.tags[0].hash = keyHash(alias)
 
-	var hit bool
-	st.Get(alias, func(h bool, _ []byte) { hit = h })
-	s.RunUntil(2 * sim.Millisecond)
+	hit, _ := storeGet(s, st, alias)
 	if hit {
 		t.Fatal("alias must not hit")
 	}
-	if st.Stats.Collisions.Value() != 1 {
-		t.Fatalf("collisions = %d, want 1", st.Stats.Collisions.Value())
+	if st.Stats().Collisions.Value() != 1 {
+		t.Fatalf("collisions = %d, want 1", st.Stats().Collisions.Value())
 	}
+}
+
+// ---- Cuckoo store ----
+
+func newCuckooStore(t *testing.T, cfg StoreConfig) (*sim.Simulation, *CuckooStore) {
+	t.Helper()
+	s := sim.New(1)
+	mem := dram.New(s, dram.DefaultConfig())
+	return s, NewCuckooStore(s, mem, cfg)
+}
+
+func TestCuckooPutGet(t *testing.T) {
+	cfg := DefaultStoreConfig()
+	cfg.Cuckoo = true
+	s, st := newCuckooStore(t, cfg)
+	key, val := []byte("hello"), []byte("world")
+
+	if ok, _ := storePut(s, st, key, val); !ok {
+		t.Fatal("Put failed")
+	}
+	hit, got := storeGet(s, st, key)
+	if !hit || !bytes.Equal(got, val) {
+		t.Fatalf("Get: hit=%v val=%q, want hit=true val=%q", hit, got, val)
+	}
+	if used, _ := st.Occupancy(); used != 1 {
+		t.Fatalf("occupancy = %d, want 1", used)
+	}
+}
+
+func TestCuckooOverwriteInPlace(t *testing.T) {
+	cfg := DefaultStoreConfig()
+	cfg.Cuckoo = true
+	s, st := newCuckooStore(t, cfg)
+	key := []byte("k")
+	storePut(s, st, key, []byte("v1"))
+	storePut(s, st, key, []byte("v2"))
+	hit, got := storeGet(s, st, key)
+	if !hit || !bytes.Equal(got, []byte("v2")) {
+		t.Fatalf("overwrite: hit=%v val=%q", hit, got)
+	}
+	if used, _ := st.Occupancy(); used != 1 {
+		t.Fatalf("occupancy = %d after overwrite, want 1", used)
+	}
+}
+
+func TestCuckooRelocatesUnderPressure(t *testing.T) {
+	// A tiny directory (4 buckets x 1 way) fills fast; keep inserting
+	// distinct keys until a relocation (kick) happens, and verify every
+	// non-evicted key still reads back.
+	cfg := StoreConfig{Sets: 4, Ways: 1, SlotBytes: 64, Cuckoo: true, CuckooKicks: 4}
+	s, st := newCuckooStore(t, cfg)
+
+	keys := make([][]byte, 0, 16)
+	for i := 0; i < 16; i++ {
+		k := []byte(fmt.Sprintf("key-%02d", i))
+		keys = append(keys, k)
+		if ok, _ := storePut(s, st, k, []byte{byte(i)}); !ok {
+			t.Fatalf("Put(%q) failed", k)
+		}
+		if st.stats.CuckooKicks.Value() > 0 {
+			break
+		}
+	}
+	if st.stats.CuckooKicks.Value() == 0 {
+		t.Skip("no relocation triggered (hash spread); directory too friendly")
+	}
+	// Every key still present must return its own value (relocation must
+	// move payloads with tags, not just tags).
+	found := 0
+	for i, k := range keys {
+		hit, got := storeGet(s, st, k)
+		if hit {
+			found++
+			if !bytes.Equal(got, []byte{byte(i)}) {
+				t.Fatalf("key %q returned %v, want %v", k, got, []byte{byte(i)})
+			}
+		}
+	}
+	used, _ := st.Occupancy()
+	if found != used {
+		t.Fatalf("found %d readable keys but occupancy says %d", found, used)
+	}
+}
+
+func TestCuckooFullDirectoryEvicts(t *testing.T) {
+	// Fill a 2-bucket x 1-way directory past capacity: inserts must keep
+	// succeeding by evicting (cache semantics), never failing.
+	cfg := StoreConfig{Sets: 2, Ways: 1, SlotBytes: 64, Cuckoo: true, CuckooKicks: 2}
+	s, st := newCuckooStore(t, cfg)
+	for i := 0; i < 8; i++ {
+		k := []byte(fmt.Sprintf("key-%02d", i))
+		if ok, _ := storePut(s, st, k, []byte{byte(i)}); !ok {
+			t.Fatalf("Put(%q) failed on a full directory", k)
+		}
+	}
+	used, total := st.Occupancy()
+	if used > total {
+		t.Fatalf("occupancy %d/%d", used, total)
+	}
+	if st.Stats().Puts.Value() != 8 {
+		t.Fatalf("puts = %d, want 8", st.Stats().Puts.Value())
+	}
+}
+
+func TestCuckooBucketsDiffer(t *testing.T) {
+	cfg := StoreConfig{Sets: 8, Ways: 2, SlotBytes: 64, Cuckoo: true}
+	_, st := newCuckooStore(t, cfg)
+	for i := 0; i < 256; i++ {
+		h := keyHash([]byte(fmt.Sprintf("key-%d", i)))
+		b1, b2 := st.buckets(h)
+		if b1 == b2 {
+			t.Fatalf("hash %x: candidate buckets collide (%d)", h, b1)
+		}
+		if st.altBucket(b1, h) != b2 || st.altBucket(b2, h) != b1 {
+			t.Fatalf("hash %x: altBucket not an involution", h)
+		}
+	}
+}
+
+// TestCuckooOccupancyBeatsSetAssoc is the directory A/B at equal
+// geometry: insert distinct keys until the first eviction; the cuckoo
+// directory must absorb at least as many entries as the set-associative
+// one before displacing anything.
+func TestCuckooOccupancyBeatsSetAssoc(t *testing.T) {
+	geo := StoreConfig{Sets: 16, Ways: 2, SlotBytes: 64}
+	fill := func(st Store, s *sim.Simulation) int {
+		for i := 0; ; i++ {
+			k := []byte(fmt.Sprintf("key-%04d", i))
+			storePut(s, st, k, []byte("v"))
+			if st.Stats().Evictions.Value() > 0 {
+				return i // entries inserted before the first displacement
+			}
+			if i > 16*2*4 {
+				return i
+			}
+		}
+	}
+	sa, ssa := sim.New(1), geo
+	saStore := NewSetAssocStore(sa, dram.New(sa, dram.DefaultConfig()), ssa)
+	saFill := fill(saStore, sa)
+
+	ck, sck := sim.New(1), geo
+	sck.Cuckoo = true
+	ckStore := NewCuckooStore(ck, dram.New(ck, dram.DefaultConfig()), sck)
+	ckFill := fill(ckStore, ck)
+
+	if ckFill < saFill {
+		t.Fatalf("cuckoo displaced after %d inserts, set-assoc after %d — cuckoo should hold more", ckFill, saFill)
+	}
+	t.Logf("first displacement: set-assoc after %d inserts, cuckoo after %d (of %d slots)", saFill, ckFill, 16*2)
 }

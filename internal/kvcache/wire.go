@@ -22,7 +22,13 @@ const (
 	RespMiss  = 4 // reply: Key absent (or displaced under pressure)
 	RespPut   = 5 // reply: Put applied
 	RespError = 6 // reply: request was undecodable or oversized
+	OpMGet    = 7 // request: batched read of up to MaxMultiKeys keys
+	RespMGet  = 8 // reply: per-key hit flags and values for an OpMGet
 )
+
+// MaxMultiKeys bounds the keys in one multi-get datagram (the batch FIFO
+// depth a hardware pipeline would provision).
+const MaxMultiKeys = 16
 
 // Wire-format bounds. They exist so a corrupt length field can never make
 // the decoder allocate unbounded memory: anything larger is an encoding
@@ -69,15 +75,27 @@ var (
 
 // EncodeReq serializes a request.
 func EncodeReq(r Req) []byte {
-	buf := make([]byte, 11+len(r.Key)+2+len(r.Val))
-	buf[0] = r.Op
-	binary.BigEndian.PutUint64(buf[1:], r.ID)
-	binary.BigEndian.PutUint16(buf[9:], uint16(len(r.Key)))
-	copy(buf[11:], r.Key)
-	off := 11 + len(r.Key)
-	binary.BigEndian.PutUint16(buf[off:], uint16(len(r.Val)))
-	copy(buf[off+2:], r.Val)
-	return buf
+	return AppendReq(make([]byte, 0, 13+len(r.Key)+len(r.Val)), r)
+}
+
+// AppendReq serializes a request into dst's storage (the zero-alloc send
+// path: clients reuse one encode buffer per request).
+func AppendReq(dst []byte, r Req) []byte {
+	dst = append(dst, r.Op)
+	dst = appendUint64(dst, r.ID)
+	dst = appendUint16(dst, uint16(len(r.Key)))
+	dst = append(dst, r.Key...)
+	dst = appendUint16(dst, uint16(len(r.Val)))
+	return append(dst, r.Val...)
+}
+
+func appendUint16(dst []byte, v uint16) []byte {
+	return append(dst, byte(v>>8), byte(v))
+}
+
+func appendUint64(dst []byte, v uint64) []byte {
+	return append(dst, byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
 }
 
 // DecodeReq parses a request, validating every length field before
@@ -114,12 +132,16 @@ func DecodeReq(buf []byte) (Req, error) {
 
 // EncodeResp serializes a reply.
 func EncodeResp(r Resp) []byte {
-	buf := make([]byte, 11+len(r.Val))
-	buf[0] = r.Op
-	binary.BigEndian.PutUint64(buf[1:], r.ID)
-	binary.BigEndian.PutUint16(buf[9:], uint16(len(r.Val)))
-	copy(buf[11:], r.Val)
-	return buf
+	return AppendResp(make([]byte, 0, 11+len(r.Val)), r)
+}
+
+// AppendResp serializes a reply into dst's storage (the zero-alloc shard
+// reply path).
+func AppendResp(dst []byte, r Resp) []byte {
+	dst = append(dst, r.Op)
+	dst = appendUint64(dst, r.ID)
+	dst = appendUint16(dst, uint16(len(r.Val)))
+	return append(dst, r.Val...)
 }
 
 // DecodeResp parses a reply with the same corruption tolerance as
@@ -142,6 +164,138 @@ func DecodeResp(buf []byte) (Resp, error) {
 		return r, ErrTruncated
 	}
 	r.Val = buf[11 : 11+vl]
+	return r, nil
+}
+
+// MReq is one batched multi-get request (OpMGet):
+//
+//	byte 0      op (OpMGet)
+//	bytes 1-8   request id
+//	byte 9      key count (1..MaxMultiKeys)
+//	per key:    2-byte key length, key bytes
+type MReq struct {
+	ID   uint64
+	Keys [][]byte
+}
+
+// MResp is the batched reply (RespMGet):
+//
+//	byte 0      op (RespMGet)
+//	bytes 1-8   request id
+//	byte 9      key count
+//	per key:    1-byte hit flag, 2-byte value length, value bytes
+//
+// Values appear in request key order (the batch pipeline drains in order).
+type MResp struct {
+	ID   uint64
+	Hits []bool
+	Vals [][]byte
+}
+
+// ErrBadCount reports a multi-get count outside 1..MaxMultiKeys.
+var ErrBadCount = errors.New("kvcache: multi-get key count out of range")
+
+// AppendMReq serializes a batched request into dst's storage.
+func AppendMReq(dst []byte, r MReq) []byte {
+	dst = append(dst, OpMGet)
+	dst = appendUint64(dst, r.ID)
+	dst = append(dst, byte(len(r.Keys)))
+	for _, k := range r.Keys {
+		dst = appendUint16(dst, uint16(len(k)))
+		dst = append(dst, k...)
+	}
+	return dst
+}
+
+// DecodeMReq parses a batched request with the same corruption tolerance
+// as DecodeReq. Returned keys alias buf.
+func DecodeMReq(buf []byte) (MReq, error) {
+	var r MReq
+	if len(buf) < 10 {
+		return r, ErrTruncated
+	}
+	if buf[0] != OpMGet {
+		return r, ErrBadOp
+	}
+	r.ID = binary.BigEndian.Uint64(buf[1:])
+	n := int(buf[9])
+	if n < 1 || n > MaxMultiKeys {
+		return r, ErrBadCount
+	}
+	off := 10
+	for i := 0; i < n; i++ {
+		if len(buf) < off+2 {
+			return r, ErrTruncated
+		}
+		kl := int(binary.BigEndian.Uint16(buf[off:]))
+		if kl == 0 || kl > MaxKeyBytes {
+			return r, ErrOversized
+		}
+		off += 2
+		if len(buf) < off+kl {
+			return r, ErrTruncated
+		}
+		r.Keys = append(r.Keys, buf[off:off+kl])
+		off += kl
+	}
+	return r, nil
+}
+
+// AppendMResp serializes a batched reply into dst's storage. Hits and
+// Vals must be the same length.
+func AppendMResp(dst []byte, r MResp) []byte {
+	dst = append(dst, RespMGet)
+	dst = appendUint64(dst, r.ID)
+	dst = append(dst, byte(len(r.Hits)))
+	for i, hit := range r.Hits {
+		if hit {
+			dst = append(dst, 1)
+			dst = appendUint16(dst, uint16(len(r.Vals[i])))
+			dst = append(dst, r.Vals[i]...)
+		} else {
+			dst = append(dst, 0)
+			dst = appendUint16(dst, 0)
+		}
+	}
+	return dst
+}
+
+// DecodeMResp parses a batched reply. Returned values alias buf.
+func DecodeMResp(buf []byte) (MResp, error) {
+	var r MResp
+	if len(buf) < 10 {
+		return r, ErrTruncated
+	}
+	if buf[0] != RespMGet {
+		return r, ErrBadOp
+	}
+	r.ID = binary.BigEndian.Uint64(buf[1:])
+	n := int(buf[9])
+	if n < 1 || n > MaxMultiKeys {
+		return r, ErrBadCount
+	}
+	off := 10
+	for i := 0; i < n; i++ {
+		if len(buf) < off+3 {
+			return r, ErrTruncated
+		}
+		hit := buf[off] != 0
+		vl := int(binary.BigEndian.Uint16(buf[off+1:]))
+		if vl > MaxValBytes {
+			return r, ErrOversized
+		}
+		off += 3
+		if len(buf) < off+vl {
+			return r, ErrTruncated
+		}
+		r.Hits = append(r.Hits, hit)
+		if hit {
+			r.Vals = append(r.Vals, buf[off:off+vl])
+		} else {
+			r.Vals = append(r.Vals, nil)
+		}
+		off += vl
+	}
 	return r, nil
 }
 

@@ -29,8 +29,7 @@ func (e *Engine) SetControlHandler(h ControlHandler) { e.control = h }
 func (e *Engine) SendControl(dstIP pkt.IP, dstMAC pkt.MAC, kind uint8, payload []byte) {
 	h := pkt.LTLHeader{Type: pkt.LTLControl, VC: kind}
 	e.Stats.ControlSent.Inc()
-	buf := e.frame(dstIP, dstMAC, pkt.EncodeLTL(h, payload))
-	e.sim.Schedule(e.cfg.TxProc, func() { e.wire.Output(buf) })
+	e.emit(dstIP, dstMAC, h, payload)
 }
 
 // onControl delivers an incoming control datagram to the handler.

@@ -38,6 +38,14 @@ func FuzzHandleFrame(f *testing.F) {
 		[]byte{0xA7, 1, 2, 0, 0, 0, 0, 0, 0, 0, 0, 7, 0, 2, 'a', 'b'}))
 	f.Add(pkt.EncodeLTL(pkt.LTLHeader{Type: pkt.LTLDatagram, VC: 0x20}, // truncated: keyLen runs past end
 		[]byte{1, 0, 0, 0, 0, 0, 0, 0, 1, 0xFF, 0xFF}))
+	f.Add(pkt.EncodeLTL(pkt.LTLHeader{Type: pkt.LTLDatagram, VC: 0x20}, // kvcache multi-get, 2 keys
+		[]byte{7, 0, 0, 0, 0, 0, 0, 0, 4, 2, 0, 2, 'k', '0', 0, 2, 'k', '1'}))
+	f.Add(pkt.EncodeLTL(pkt.LTLHeader{Type: pkt.LTLDatagram, VC: 0x21}, // multi-get reply: hit + miss
+		[]byte{8, 0, 0, 0, 0, 0, 0, 0, 4, 2, 1, 0, 2, 'v', 'v', 0, 0, 0}))
+	f.Add(pkt.EncodeLTL(pkt.LTLHeader{Type: pkt.LTLDatagram, VC: 0x20}, // multi-get: count/table length mismatch
+		[]byte{7, 0, 0, 0, 0, 0, 0, 0, 4, 3, 0, 2, 'k', '0'}))
+	f.Add(pkt.EncodeLTL(pkt.LTLHeader{Type: pkt.LTLDatagram, VC: 0x30}, // rpcnic ingress: argLen past end
+		[]byte{0xA7, 1, 2, 0, 0, 0, 0, 0, 0, 0, 0, 7, 0xFF, 0xFF}))
 	f.Add(pkt.EncodeLTL(pkt.LTLHeader{Type: pkt.LTLDatagram, VC: 0x7F}, nil)) // unknown kind, empty
 	f.Add([]byte{pkt.LTLMagic})
 	f.Add([]byte{})

@@ -31,7 +31,9 @@ import (
 )
 
 // Wire is the engine's attachment to the network data path (provided by
-// the FPGA shell). Output must accept a fully framed Ethernet packet.
+// the FPGA shell). Output must accept a fully framed Ethernet packet;
+// the buffer is pooled and recycled when Output returns, so
+// implementations that defer transmission must copy it.
 type Wire interface {
 	Output(buf []byte)
 	LocalIP() pkt.IP
@@ -207,13 +209,36 @@ type Engine struct {
 	// tracer is cached at construction; nil when observability is off.
 	tracer *obs.Tracer
 
-	// outFn is the bound wire-output callback used with sim.ScheduleCall,
-	// built once so per-frame TX scheduling allocates no closure or event.
-	outFn func(any)
+	// txFree recycles encoded-frame buffers: each emit reuses a retired
+	// buffer, so the steady-state TX path allocates nothing. Buffers are
+	// only loaned to the wire for the duration of Output (the shell
+	// copies them into a packet).
+	txFree []*txBuf
 	// rxFree recycles rx dispatch jobs (single-threaded per simulation).
 	rxFree []*rxJob
+	// release, when set, is called once the engine has fully consumed a
+	// frame passed to HandleFrame (handlers have run; no payload bytes
+	// are retained past the callback). The shell uses it to recycle the
+	// backing network packet.
+	release func(*pkt.Frame)
 
 	Stats Stats
+}
+
+// txBuf is one pooled encoded-frame buffer in flight between emit and
+// the wire-output event.
+type txBuf struct {
+	e   *Engine
+	buf []byte
+}
+
+// txOut fires after the TX pipeline delay: the frame enters the wire and
+// the buffer returns to the engine's freelist (Wire.Output must not
+// retain the slice).
+func txOut(v any) {
+	t := v.(*txBuf)
+	t.e.wire.Output(t.buf)
+	t.e.txFree = append(t.e.txFree, t)
 }
 
 // rxJob carries one received frame through the RxProc pipeline delay.
@@ -233,6 +258,11 @@ func dispatchJob(v any) {
 	j.f, j.payload = nil, nil
 	e.rxFree = append(e.rxFree, j)
 	e.dispatch(f, h, payload)
+	// Dispatch is synchronous about the frame: every handler copies what
+	// it keeps, so the backing packet can be recycled now.
+	if e.release != nil {
+		e.release(f)
+	}
 }
 
 // New creates an engine bound to wire.
@@ -252,7 +282,6 @@ func New(s *sim.Simulation, wire Wire, cfg Config) *Engine {
 		},
 		tracer: obs.TracerOf(s),
 	}
-	e.outFn = func(v any) { e.wire.Output(v.([]byte)) }
 	if r := obs.RegistryOf(s); r != nil {
 		r.Counter("ltl.frames_sent", "frames", "ltl", "data frames transmitted (first try)", &e.Stats.FramesSent)
 		r.Counter("ltl.frames_recv", "frames", "ltl", "data frames accepted in order", &e.Stats.FramesRecv)
@@ -281,11 +310,30 @@ func New(s *sim.Simulation, wire Wire, cfg Config) *Engine {
 	return e
 }
 
-// scheduleOut hands an encoded frame to the wire after the engine's TX
-// pipeline latency via the allocation-free scheduler path.
-func (e *Engine) scheduleOut(buf []byte) {
-	e.sim.ScheduleCall(e.cfg.TxProc, e.outFn, buf)
+// emit frames an LTL header + payload in UDP/IP/Ethernet into a pooled
+// buffer and schedules it onto the wire after the engine's TX pipeline
+// latency. Encoding, scheduling, and hand-off are all allocation-free in
+// steady state. The returned slice is valid until the output event fires
+// (callers only read its length).
+func (e *Engine) emit(dstIP pkt.IP, dstMAC pkt.MAC, h pkt.LTLHeader, payload []byte) []byte {
+	var t *txBuf
+	if n := len(e.txFree); n > 0 {
+		t = e.txFree[n-1]
+		e.txFree = e.txFree[:n-1]
+	} else {
+		t = &txBuf{e: e}
+	}
+	e.ipID++
+	t.buf = pkt.AppendUDPLTL(t.buf[:0], e.wire.LocalMAC(), dstMAC, e.wire.LocalIP(), dstIP,
+		pkt.LTLPort, pkt.LTLPort, e.cfg.Class, 64, e.ipID, h, payload)
+	e.sim.ScheduleCall(e.cfg.TxProc, txOut, t)
+	return t.buf
 }
+
+// SetFrameRelease installs the hook fired when a frame handed to
+// HandleFrame has been fully consumed (dispatch complete, no payload
+// bytes retained). Used by the shell to recycle packet buffers.
+func (e *Engine) SetFrameRelease(fn func(*pkt.Frame)) { e.release = fn }
 
 // Config returns the engine configuration.
 func (e *Engine) Config() Config { return e.cfg }
@@ -494,21 +542,13 @@ func (e *Engine) transmit(sc *sendConn, fr *unackedFrame) {
 		SrcConn: sc.localID, DstConn: sc.remoteConn,
 		Seq: fr.seq,
 	}
-	buf := e.frame(sc.remoteIP, sc.remoteMAC, pkt.EncodeLTL(h, fr.payload))
+	buf := e.emit(sc.remoteIP, sc.remoteMAC, h, fr.payload)
 	e.Stats.FramesSent.Inc()
 	e.Stats.BytesSent.Add(uint64(len(buf)))
 	if e.tracer != nil {
 		e.tracer.Event(sc.flow, "ltl.tx", 0, int64(fr.seq))
 	}
-	e.scheduleOut(buf)
 	e.armRetransmit(sc)
-}
-
-// frame wraps an LTL payload in UDP/IP/Ethernet.
-func (e *Engine) frame(dstIP pkt.IP, dstMAC pkt.MAC, ltlBuf []byte) []byte {
-	e.ipID++
-	return pkt.EncodeUDP(e.wire.LocalMAC(), dstMAC, e.wire.LocalIP(), dstIP,
-		pkt.LTLPort, pkt.LTLPort, e.cfg.Class, 64, e.ipID, ltlBuf)
 }
 
 // armRetransmit (re)starts the retransmit timer if frames are in flight.
@@ -554,11 +594,10 @@ func (e *Engine) retransmitFrame(sc *sendConn, fr *unackedFrame) {
 		SrcConn: sc.localID, DstConn: sc.remoteConn,
 		Seq: fr.seq,
 	}
-	buf := e.frame(sc.remoteIP, sc.remoteMAC, pkt.EncodeLTL(h, fr.payload))
+	e.emit(sc.remoteIP, sc.remoteMAC, h, fr.payload)
 	if e.tracer != nil {
 		e.tracer.Event(sc.flow, "ltl.rtx", 0, int64(fr.seq))
 	}
-	e.scheduleOut(buf)
 }
 
 // HandleFrame ingests one LTL-classified frame from the wire (called by
@@ -566,6 +605,9 @@ func (e *Engine) retransmitFrame(sc *sendConn, fr *unackedFrame) {
 func (e *Engine) HandleFrame(f *pkt.Frame) {
 	h, payload, err := pkt.DecodeLTL(f.Payload)
 	if err != nil {
+		if e.release != nil {
+			e.release(f)
+		}
 		return
 	}
 	var j *rxJob
@@ -640,27 +682,29 @@ func (e *Engine) onData(f *pkt.Frame, h pkt.LTLHeader, payload []byte) {
 				rc.onMessage(msg)
 			}
 		}
-		e.scheduleAck(rc, f, h.SrcConn)
+		e.scheduleAck(rc, f.SrcIP, f.Src, h.SrcConn)
 	case h.Seq < rc.expectedSeq:
 		// Duplicate (retransmission of something we already have): re-ACK
 		// so the sender's store drains.
 		e.Stats.Duplicates.Inc()
-		e.sendAck(rc, f, h.SrcConn)
+		e.sendAck(rc, f.SrcIP, f.Src, h.SrcConn)
 	default:
 		// Reorder/loss detected: request timely retransmission without
 		// waiting for the sender's timeout.
 		e.Stats.OutOfOrder.Inc()
 		if !e.cfg.DisableNACK {
-			e.sendNack(rc, f, h.SrcConn)
+			e.sendNack(rc, f.SrcIP, f.Src, h.SrcConn)
 		}
 	}
 }
 
 // scheduleAck acks immediately or arms the coalescing timer. dst is the
 // data frame's source connection id (already decoded by the caller).
-func (e *Engine) scheduleAck(rc *recvConn, f *pkt.Frame, dst uint16) {
+// The peer address is captured by value: the frame itself may be
+// recycled as soon as dispatch returns.
+func (e *Engine) scheduleAck(rc *recvConn, srcIP pkt.IP, srcMAC pkt.MAC, dst uint16) {
 	if e.cfg.AckCoalesce == 0 {
-		e.sendAck(rc, f, dst)
+		e.sendAck(rc, srcIP, srcMAC, dst)
 		return
 	}
 	rc.pendingAck = true
@@ -669,42 +713,39 @@ func (e *Engine) scheduleAck(rc *recvConn, f *pkt.Frame, dst uint16) {
 			rc.ackTimer = nil
 			if rc.pendingAck {
 				rc.pendingAck = false
-				e.sendAck(rc, f, dst)
+				e.sendAck(rc, srcIP, srcMAC, dst)
 			}
 		})
 	}
 }
 
 // sendAck emits a cumulative ACK for everything below expectedSeq.
-func (e *Engine) sendAck(rc *recvConn, f *pkt.Frame, dst uint16) {
+func (e *Engine) sendAck(rc *recvConn, srcIP pkt.IP, srcMAC pkt.MAC, dst uint16) {
 	h := pkt.LTLHeader{
 		Type:    pkt.LTLAck,
 		SrcConn: rc.localID, DstConn: dst,
 		Ack: rc.expectedSeq,
 	}
 	e.Stats.AcksSent.Inc()
-	buf := e.frame(f.SrcIP, f.Src, pkt.EncodeLTL(h, nil))
-	e.scheduleOut(buf)
+	e.emit(srcIP, srcMAC, h, nil)
 }
 
 // sendNack asks for retransmission starting at expectedSeq.
-func (e *Engine) sendNack(rc *recvConn, f *pkt.Frame, dst uint16) {
+func (e *Engine) sendNack(rc *recvConn, srcIP pkt.IP, srcMAC pkt.MAC, dst uint16) {
 	h := pkt.LTLHeader{
 		Type:    pkt.LTLNack,
 		SrcConn: rc.localID, DstConn: dst,
 		Ack: rc.expectedSeq,
 	}
 	e.Stats.NacksSent.Inc()
-	buf := e.frame(f.SrcIP, f.Src, pkt.EncodeLTL(h, nil))
-	e.scheduleOut(buf)
+	e.emit(srcIP, srcMAC, h, nil)
 }
 
 // sendCNP emits a DCQCN congestion notification toward the data sender.
 func (e *Engine) sendCNP(dstIP pkt.IP, dstMAC pkt.MAC, dstConn, srcConn uint16) {
 	h := pkt.LTLHeader{Type: pkt.LTLCNP, SrcConn: srcConn, DstConn: dstConn}
 	e.Stats.CNPsSent.Inc()
-	buf := e.frame(dstIP, dstMAC, pkt.EncodeLTL(h, nil))
-	e.scheduleOut(buf)
+	e.emit(dstIP, dstMAC, h, nil)
 }
 
 // onAck is the Ack Receiver: drain the Unack'd Frame Store up to the

@@ -36,6 +36,9 @@ func (w *testWire) LocalMAC() pkt.MAC { return w.mac }
 
 func (w *testWire) Output(buf []byte) {
 	w.sent++
+	// Wire.Output must not retain the engine's pooled buffer; this wire
+	// delays delivery, so it copies like the real shell does.
+	buf = append([]byte(nil), buf...)
 	f, err := pkt.Decode(buf)
 	if err != nil {
 		panic(err)

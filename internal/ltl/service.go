@@ -35,8 +35,7 @@ func (e *Engine) SetDatagramHandler(h DatagramHandler) { e.datagram = h }
 func (e *Engine) SendDatagram(dstIP pkt.IP, dstMAC pkt.MAC, kind uint8, payload []byte) {
 	h := pkt.LTLHeader{Type: pkt.LTLDatagram, VC: kind}
 	e.Stats.DatagramsSent.Inc()
-	buf := e.frame(dstIP, dstMAC, pkt.EncodeLTL(h, payload))
-	e.sim.Schedule(e.cfg.TxProc, func() { e.wire.Output(buf) })
+	e.emit(dstIP, dstMAC, h, payload)
 }
 
 // onDatagram delivers an incoming service datagram to the handler.

@@ -53,8 +53,7 @@ func (e *Engine) Dial(localID uint16, remoteIP pkt.IP, remoteMAC pkt.MAC, vc uin
 	h := pkt.LTLHeader{Type: pkt.LTLSetup, VC: vc, SrcConn: localID}
 	payload := make([]byte, 2)
 	binary.BigEndian.PutUint16(payload, localID)
-	buf := e.frame(remoteIP, remoteMAC, pkt.EncodeLTL(h, payload))
-	e.sim.Schedule(e.cfg.TxProc, func() { e.wire.Output(buf) })
+	e.emit(remoteIP, remoteMAC, h, payload)
 
 	pd.timer = e.sim.Schedule(e.cfg.RetransmitTimeout*sim.Time(e.cfg.MaxRetries), func() {
 		delete(e.dials, localID)
@@ -107,8 +106,7 @@ func (e *Engine) onSetup(f *pkt.Frame, h pkt.LTLHeader) {
 		SrcConn: id, DstConn: h.SrcConn,
 		Ack: uint32(id),
 	}
-	buf := e.frame(f.SrcIP, f.Src, pkt.EncodeLTL(reply, nil))
-	e.sim.Schedule(e.cfg.TxProc, func() { e.wire.Output(buf) })
+	e.emit(f.SrcIP, f.Src, reply, nil)
 }
 
 // dynConnBase is where dynamically allocated receive ids start, leaving
@@ -137,8 +135,7 @@ func (e *Engine) Teardown(localID uint16) {
 	sc, ok := e.send[localID]
 	if ok {
 		h := pkt.LTLHeader{Type: pkt.LTLTeardown, SrcConn: localID, DstConn: sc.remoteConn}
-		buf := e.frame(sc.remoteIP, sc.remoteMAC, pkt.EncodeLTL(h, nil))
-		e.sim.Schedule(e.cfg.TxProc, func() { e.wire.Output(buf) })
+		e.emit(sc.remoteIP, sc.remoteMAC, h, nil)
 	}
 	e.Close(localID)
 }

@@ -38,10 +38,12 @@ func NewHistogramPrecision(subBits uint) *Histogram {
 	if subBits < 1 || subBits > 10 {
 		panic(fmt.Sprintf("metrics: subBits %d out of range [1,10]", subBits))
 	}
-	// 64 exponent ranges x 2^subBits sub-buckets covers all of int64.
+	// The bucket array (64 exponent ranges x 2^subBits sub-buckets,
+	// covering all of int64) is materialized on first Observe: fabric
+	// models allocate histograms per port, and most ports on an idle
+	// path never record a sample.
 	return &Histogram{
 		subBits: subBits,
-		buckets: make([]uint64, 64<<subBits),
 		min:     math.MaxInt64,
 		max:     math.MinInt64,
 	}
@@ -90,6 +92,9 @@ func leadingZeros64(x uint64) int {
 func (h *Histogram) Observe(v int64) {
 	if v < 0 {
 		v = 0
+	}
+	if h.buckets == nil {
+		h.buckets = make([]uint64, 64<<h.subBits)
 	}
 	h.buckets[h.bucketIndex(v)]++
 	h.count++
@@ -180,6 +185,9 @@ func (h *Histogram) Reset() {
 func (h *Histogram) Merge(other *Histogram) {
 	if other.subBits != h.subBits {
 		panic("metrics: merging histograms of different precision")
+	}
+	if other.buckets != nil && h.buckets == nil {
+		h.buckets = make([]uint64, 64<<h.subBits)
 	}
 	for i, c := range other.buckets {
 		h.buckets[i] += c

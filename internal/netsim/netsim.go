@@ -80,6 +80,10 @@ type Packet struct {
 	hopSpan obs.SpanID
 
 	frame pkt.Frame // storage F points at for pool-backed packets
+	// mem is recycled byte storage for NewPacketCopy: it survives Free so
+	// a pool hit re-parses into an already-sized buffer with no
+	// allocation.
+	mem []byte
 }
 
 var packetPool = sync.Pool{New: func() any { return new(Packet) }}
@@ -135,6 +139,22 @@ func NewPacket(buf []byte) *Packet {
 	return p
 }
 
+// NewPacketCopy parses buf into a pool-backed packet that owns a private
+// copy of the bytes: the caller's buffer is free for reuse the moment the
+// call returns. The copy lands in the packet's recycled backing array, so
+// a pool hit allocates nothing. Panics on undecodable frames like
+// NewPacket.
+func NewPacketCopy(buf []byte) *Packet {
+	p := packetPool.Get().(*Packet)
+	p.mem = append(p.mem[:0], buf...)
+	if err := pkt.DecodeInto(&p.frame, p.mem); err != nil {
+		panic(fmt.Sprintf("netsim: emitting undecodable frame: %v", err))
+	}
+	p.Buf = p.mem
+	p.F = &p.frame
+	return p
+}
+
 // Free returns a pool-backed packet for reuse. Callers must prove the
 // packet is dead: no device, handler, or scheduled event still references
 // it or its Frame. Packets assembled literally (F not pointing at the
@@ -143,7 +163,9 @@ func (p *Packet) Free() {
 	if p.F != &p.frame {
 		return
 	}
+	mem := p.mem[:0]
 	*p = Packet{}
+	p.mem = mem
 	packetPool.Put(p)
 }
 
@@ -278,14 +300,23 @@ type Port struct {
 	dev   Device
 	index int // port number within the device
 	sim   *sim.Simulation
-	rng   *rand.Rand
+	// rng is built lazily from rngSeed on the first RED/ECN draw; the
+	// seed is drawn at construction so the stream is independent of when
+	// (or whether) the port ever needs randomness.
+	rng     *rand.Rand
+	rngSeed int64
 	peer  *Port
 	cfg   PortConfig
 	fault FaultHook
 
+	// queues are head-indexed so their capacity recycles: popping
+	// advances qhead and an emptied queue rewinds to offset 0, keeping
+	// the steady-state enqueue allocation-free.
 	queues      [pkt.NumClasses][]*Packet
+	qhead       [pkt.NumClasses]int
 	queuedBytes [pkt.NumClasses]int
 	ctrlQueue   []*Packet // PFC / MAC control: bypasses data queues
+	ctrlHead    int
 	pausedUntil [pkt.NumClasses]sim.Time
 	busy        bool
 	retry       *sim.Event
@@ -323,10 +354,19 @@ func (p *Port) Config() PortConfig { return p.cfg }
 // QueuedBytes returns the bytes currently queued for class c.
 func (p *Port) QueuedBytes(c pkt.TrafficClass) int { return p.queuedBytes[c] }
 
+// rand returns the port's private random stream, materializing it on
+// first use.
+func (p *Port) rand() *rand.Rand {
+	if p.rng == nil {
+		p.rng = rand.New(rand.NewSource(p.rngSeed))
+	}
+	return p.rng
+}
+
 // NewPort creates an unwired port owned by dev.
 func NewPort(s *sim.Simulation, dev Device, index int, cfg PortConfig) *Port {
 	p := &Port{
-		dev: dev, index: index, sim: s, rng: s.NewRand(), cfg: cfg,
+		dev: dev, index: index, sim: s, rngSeed: s.DrawSeed(), cfg: cfg,
 		tracer: obs.TracerOf(s),
 		Stats:  PortStats{QueueDelay: metrics.NewHistogram()},
 	}
@@ -380,7 +420,7 @@ func (p *Port) Enqueue(packet *Packet) bool {
 			pr = p.cfg.RED.PMax * float64(depth-p.cfg.RED.MinBytes) /
 				float64(p.cfg.RED.MaxBytes-p.cfg.RED.MinBytes)
 		}
-		if p.rng.Float64() < pr {
+		if p.rand().Float64() < pr {
 			p.Stats.DropsRED.Inc()
 			p.drop(packet)
 			return false
@@ -399,7 +439,7 @@ func (p *Port) Enqueue(packet *Packet) bool {
 			pr = p.cfg.ECN.PMax * float64(depth-p.cfg.ECN.KMinBytes) /
 				float64(p.cfg.ECN.KMaxBytes-p.cfg.ECN.KMinBytes)
 		}
-		if p.rng.Float64() < pr {
+		if p.rand().Float64() < pr {
 			pkt.SetECNCE(packet.Buf)
 			packet.F.ECN = pkt.ECNCE
 			p.Stats.ECNMarks.Inc()
@@ -407,6 +447,10 @@ func (p *Port) Enqueue(packet *Packet) bool {
 	}
 
 	packet.EnqueuedAt = p.sim.Now()
+	if p.qhead[c] == len(p.queues[c]) && p.qhead[c] > 0 {
+		p.queues[c] = p.queues[c][:0]
+		p.qhead[c] = 0
+	}
 	p.queues[c] = append(p.queues[c], packet)
 	p.queuedBytes[c] += size
 	p.Stats.QueueDepth.Add(int64(size))
@@ -434,6 +478,10 @@ func releaseHold(packet *Packet) {
 // EnqueueControl sends a MAC control frame (PFC). Control frames bypass
 // data queues and are never paused.
 func (p *Port) EnqueueControl(packet *Packet) {
+	if p.ctrlHead == len(p.ctrlQueue) && p.ctrlHead > 0 {
+		p.ctrlQueue = p.ctrlQueue[:0]
+		p.ctrlHead = 0
+	}
 	p.ctrlQueue = append(p.ctrlQueue, packet)
 	p.kick()
 }
@@ -466,15 +514,16 @@ func (p *Port) kick() {
 // priority (higher class first), and pause state. When only paused traffic
 // is available, it arms a retry at the earliest resume time.
 func (p *Port) pick() (*Packet, bool) {
-	if len(p.ctrlQueue) > 0 {
-		packet := p.ctrlQueue[0]
-		p.ctrlQueue = p.ctrlQueue[1:]
+	if p.ctrlHead < len(p.ctrlQueue) {
+		packet := p.ctrlQueue[p.ctrlHead]
+		p.ctrlQueue[p.ctrlHead] = nil
+		p.ctrlHead++
 		return packet, true
 	}
 	now := p.sim.Now()
 	var earliest sim.Time = -1
 	for c := pkt.NumClasses - 1; c >= 0; c-- {
-		if len(p.queues[c]) == 0 {
+		if p.qhead[c] == len(p.queues[c]) {
 			continue
 		}
 		if until := p.pausedUntil[c]; until > now {
@@ -483,8 +532,9 @@ func (p *Port) pick() (*Packet, bool) {
 			}
 			continue
 		}
-		packet := p.queues[c][0]
-		p.queues[c] = p.queues[c][1:]
+		packet := p.queues[c][p.qhead[c]]
+		p.queues[c][p.qhead[c]] = nil
+		p.qhead[c]++
 		size := packet.WireLen()
 		p.queuedBytes[c] -= size
 		p.Stats.QueueDepth.Add(-int64(size))

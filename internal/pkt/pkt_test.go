@@ -317,3 +317,27 @@ func TestChecksumAlgorithm(t *testing.T) {
 		t.Fatalf("checksum over valid header = %#x, want 0", ipChecksum(ip))
 	}
 }
+
+// TestAppendUDPLTLMatchesEncode pins the fused zero-alloc TX encoder to
+// the composed EncodeUDP(EncodeLTL(...)) reference, including on a dirty
+// recycled buffer (stale bytes must not leak into the reserved fields).
+func TestAppendUDPLTLMatchesEncode(t *testing.T) {
+	srcMAC, dstMAC := MAC{1, 2, 3, 4, 5, 6}, MAC{7, 8, 9, 10, 11, 12}
+	srcIP, dstIP := IP{10, 0, 0, 1}, IP{10, 0, 0, 2}
+	payloads := [][]byte{nil, []byte("x"), bytes.Repeat([]byte{0xA5}, 900)}
+	classes := []TrafficClass{ClassBestEffort, ClassLTL}
+	h := LTLHeader{Type: LTLData, Flags: LTLFlagLast, VC: 3,
+		SrcConn: 0x1234, DstConn: 0x5678, Seq: 99, Ack: 7, Credits: 42}
+	dirty := bytes.Repeat([]byte{0xFF}, 2048)
+	for _, class := range classes {
+		for _, p := range payloads {
+			want := EncodeUDP(srcMAC, dstMAC, srcIP, dstIP, LTLPort, LTLPort,
+				class, 64, 0xBEEF, EncodeLTL(h, p))
+			got := AppendUDPLTL(dirty[:0], srcMAC, dstMAC, srcIP, dstIP, LTLPort, LTLPort,
+				class, 64, 0xBEEF, h, p)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("class=%v len(payload)=%d: fused encoder diverges from EncodeUDP∘EncodeLTL", class, len(p))
+			}
+		}
+	}
+}

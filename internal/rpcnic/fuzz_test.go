@@ -12,6 +12,8 @@ func FuzzDecodeReq(f *testing.F) {
 	f.Add(EncodeReq(Req{Method: MethodHash, ID: 2, Args: []byte("args")}))
 	f.Add(EncodeReq(Req{Method: MethodRank, ID: 3, Args: bytes.Repeat([]byte{5}, MaxArgBytes)}))
 	f.Add([]byte{reqMagic, reqVersion, MethodEcho, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0xFF, 0xFF})
+	f.Add([]byte{reqMagic, reqVersion, MethodHash, 0, 0, 0, 0, 0, 0, 0, 0, 2, 0, 8, 'a', 'b'}) // argLen past end
+	f.Add(EncodeReq(Req{Method: MethodRank, ID: 4, Args: []byte("tail")})[:14])                // args truncated off
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r, err := DecodeReq(data)
@@ -36,6 +38,7 @@ func FuzzDecodeResp(f *testing.F) {
 	f.Add(EncodeResp(Resp{Status: 0, Method: MethodEcho, ID: 1, Ret: []byte("r")}))
 	f.Add(EncodeResp(Resp{Status: 1, Method: MethodRank, ID: 2}))
 	f.Add([]byte{reqMagic, 0, MethodEcho, 0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF})
+	f.Add([]byte{reqMagic, 0, MethodHash, 0, 0, 0, 0, 0, 0, 0, 0, 0, 4, 'r'}) // retLen past end
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r, err := DecodeResp(data)
 		if err != nil {

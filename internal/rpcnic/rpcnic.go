@@ -60,6 +60,14 @@ type Config struct {
 	HostDecodeFixed   sim.Time
 	HostDecodePerByte sim.Time
 
+	// Batch enables Dagger-style doorbell batching on the offload ingress
+	// pipeline (ignored by the host baseline). Requests accumulate at the
+	// NIC until the doorbell fills (Size) or the first-queued request has
+	// waited Window; the whole batch then crosses the decode pipeline as
+	// one dispatch event. Batching trades per-request pipeline events for
+	// queueing delay — E18b reports the throughput/p99 trade-off.
+	Batch BatchConfig
+
 	Duration sim.Time
 	Drain    sim.Time
 	Timeout  sim.Time
@@ -71,6 +79,17 @@ type Config struct {
 	BackgroundLoad float64
 	Telemetry      bool
 	SpanLimit      int
+}
+
+// BatchConfig shapes the offload pipeline's doorbell batching.
+type BatchConfig struct {
+	// Size is the doorbell capacity; <= 1 disables batching entirely and
+	// the ingress path is event-for-event identical to the unbatched
+	// build (the E18 digest witness).
+	Size int
+	// Window bounds how long the first queued request may wait for the
+	// doorbell to fill (default 2us when Size > 1).
+	Window sim.Time
 }
 
 // DefaultConfig returns a pool sized so the host-software baseline is
@@ -140,6 +159,9 @@ func (cfg Config) withDefaults() Config {
 	if cfg.GossipInterval <= 0 {
 		cfg.GossipInterval = d.GossipInterval
 	}
+	if cfg.Batch.Size > 1 && cfg.Batch.Window <= 0 {
+		cfg.Batch.Window = 2 * sim.Microsecond
+	}
 	return cfg
 }
 
@@ -156,10 +178,14 @@ func methodTime(method byte) sim.Time {
 	}
 }
 
-// rpcCall is one caller's in-flight RPC.
+// rpcCall is one caller's in-flight RPC. Calls are pooled per caller and
+// their timeout fires through a static callback, so the steady-state
+// request path schedules no closures and allocates nothing.
 type rpcCall struct {
+	c      *caller
+	id     uint64
 	sentAt sim.Time
-	timer  *sim.Event
+	timer  sim.Timer
 	span   obs.SpanID
 }
 
@@ -170,14 +196,79 @@ type caller struct {
 	host    int
 	pending map[uint64]*rpcCall
 	nextSeq uint64
+
+	// callFree pools rpcCalls; scratch is the reused request encode
+	// buffer (SendDatagram copies synchronously).
+	callFree []*rpcCall
+	scratch  []byte
 }
 
 // dispatchState is the dispatcher's per-request table entry (NIC SRAM in
-// offload mode, host memory in the baseline).
+// offload mode, host memory in the baseline). Entries are pooled.
 type dispatchState struct {
 	caller int
 	slot   *svclb.Slot
 	span   obs.SpanID
+}
+
+// ingressJob carries one offloaded ingress datagram (and its copied
+// payload buffer) through the NIC decode pipeline. Jobs are pooled and
+// recycled when the dispatch completes.
+type ingressJob struct {
+	d    *Dispatcher
+	from int
+	buf  []byte
+}
+
+// dispatchIngress is the static unbatched NIC-pipeline callback: one
+// decode+dispatch per ingress datagram.
+func dispatchIngress(v any) {
+	j := v.(*ingressJob)
+	d := j.d
+	d.decodeAndDispatch(j.from, j.buf)
+	d.ingressFree = append(d.ingressFree, j)
+}
+
+// doorbell is one batched NIC dispatch: every job rung by the same
+// doorbell crosses the decode pipeline as a single event.
+type doorbell struct {
+	d    *Dispatcher
+	jobs []*ingressJob
+}
+
+// ringDoorbell is the static batched NIC-pipeline callback.
+func ringDoorbell(v any) {
+	db := v.(*doorbell)
+	d := db.d
+	d.Stats.BatchFlushes.Inc()
+	d.Stats.BatchReqs.Add(uint64(len(db.jobs)))
+	for _, j := range db.jobs {
+		d.decodeAndDispatch(j.from, j.buf)
+		d.ingressFree = append(d.ingressFree, j)
+	}
+	db.jobs = db.jobs[:0]
+	d.doorbellFree = append(d.doorbellFree, db)
+}
+
+// replyJob carries one completed response back toward its caller through
+// the NIC pipeline (offload mode). Pooled like ingressJob.
+type replyJob struct {
+	d      *Dispatcher
+	caller int
+	span   obs.SpanID
+	buf    []byte
+}
+
+// sendReply is the static offload reply-path callback.
+func sendReply(v any) {
+	j := v.(*replyJob)
+	d := j.d
+	d.Stats.Replies.Inc()
+	if d.tracer != nil {
+		d.tracer.End(j.span)
+	}
+	must(d.shells[d.dispHost].SendDatagram(j.caller, KindReply, j.buf))
+	d.replyFree = append(d.replyFree, j)
 }
 
 // Stats aggregates dispatcher counters (registered under rpcnic.*).
@@ -189,6 +280,12 @@ type Stats struct {
 	Timeouts     metrics.Counter // caller-side expiries
 	HostQueue    metrics.Gauge   // host-software decode queue depth (baseline)
 	Latency      *metrics.Histogram
+
+	// Doorbell-batching counters (zero with batching off).
+	BatchFlushes metrics.Counter // doorbell rings (batched dispatch events)
+	BatchReqs    metrics.Counter // requests dispatched through a doorbell
+	BatchFull    metrics.Counter // flushes triggered by a full doorbell
+	BatchWindow  metrics.Counter // flushes triggered by window expiry
 }
 
 // Dispatcher is one deployed RPC NIC: callers, the dispatcher node, and
@@ -216,6 +313,17 @@ type Dispatcher struct {
 	hostBusyUntil sim.Time
 	hostBusyTotal sim.Time
 	hostQueueLen  int
+
+	// Freelists for the offload hot path (ingress jobs, dispatch-table
+	// entries, reply jobs, doorbells) — see dispatchIngress/sendReply.
+	ingressFree  []*ingressJob
+	stateFree    []*dispatchState
+	replyFree    []*replyJob
+	doorbellFree []*doorbell
+
+	// Doorbell accumulation state (cfg.Batch.Size > 1, offload only).
+	batch      []*ingressJob
+	batchTimer sim.Timer
 
 	hostEnd     int
 	hostsPerTOR int
@@ -273,6 +381,10 @@ func NewDispatcherOn(s *sim.Simulation, dc *netsim.Datacenter, shells map[int]*s
 		reg.Counter("rpcnic.timeouts", "reqs", "rpcnic", "caller-side RPC expiries", &d.Stats.Timeouts)
 		reg.Gauge("rpcnic.host_queue", "reqs", "rpcnic", "host-software decode queue depth", &d.Stats.HostQueue)
 		reg.Histogram("rpcnic.latency", "ns", "rpcnic", "caller-observed RPC latency", d.Stats.Latency)
+		reg.Counter("rpcnic.batch_flushes", "doorbells", "rpcnic", "doorbell rings (batched dispatch events)", &d.Stats.BatchFlushes)
+		reg.Counter("rpcnic.batch_reqs", "reqs", "rpcnic", "requests dispatched through a doorbell", &d.Stats.BatchReqs)
+		reg.Counter("rpcnic.batch_full", "doorbells", "rpcnic", "flushes triggered by a full doorbell", &d.Stats.BatchFull)
+		reg.Counter("rpcnic.batch_window", "doorbells", "rpcnic", "flushes triggered by window expiry", &d.Stats.BatchWindow)
 	}
 
 	for i := 0; i < cfg.Callers; i++ {
@@ -379,6 +491,8 @@ func (d *Dispatcher) attachBackend(h int) {
 	sh.LoadRole(backendRole{})
 	q := svclb.NewWorkQueue(d.s, h)
 	d.queues[h] = q
+	ret := make([]byte, d.cfg.RetBytes)
+	var out []byte
 	must(sh.SetServiceHandler(func(from int, kind uint8, payload []byte) {
 		if kind != KindWork {
 			return
@@ -388,12 +502,16 @@ func (d *Dispatcher) attachBackend(h int) {
 			return
 		}
 		id, method := req.ID, req.Method
-		ret := make([]byte, d.cfg.RetBytes)
-		for i := range ret {
-			ret[i] = byte(id) + byte(i)
-		}
 		q.Submit(id, methodTime(method), func() {
-			must(sh.SendDatagram(from, KindWorkResp, EncodeResp(Resp{Method: method, ID: id, Ret: ret})))
+			// The result is derived from the id, so it is generated into
+			// the backend's reused buffers at completion time. The queue
+			// serializes completions and SendDatagram copies synchronously,
+			// so per-backend scratch is safe.
+			for i := range ret {
+				ret[i] = byte(id) + byte(i)
+			}
+			out = AppendResp(out[:0], Resp{Method: method, ID: id, Ret: ret})
+			must(sh.SendDatagram(from, KindWorkResp, out))
 		})
 	}))
 	if len(d.gossip) < 64 { // phase-offset like svclb's backends
@@ -413,15 +531,68 @@ func (d *Dispatcher) onDatagram(from int, kind uint8, payload []byte) {
 		d.Stats.Ingress.Inc()
 		if d.cfg.Offload {
 			// FPGA pipeline: fixed decode latency, then dispatch. The host
-			// above this shell never runs.
-			buf := append([]byte(nil), payload...)
-			d.s.Schedule(d.cfg.NICDecode, func() { d.decodeAndDispatch(from, buf) })
+			// above this shell never runs. The datagram payload is only
+			// valid during this call, so it is copied into a pooled job.
+			j := d.allocIngress()
+			j.from = from
+			j.buf = append(j.buf[:0], payload...)
+			if d.cfg.Batch.Size > 1 {
+				d.enqueueBatch(j)
+			} else {
+				d.s.ScheduleCall(d.cfg.NICDecode, dispatchIngress, j)
+			}
 		} else {
 			d.hostIngress(from, payload)
 		}
 	case KindWorkResp:
 		d.onWorkResp(payload)
 	}
+}
+
+func (d *Dispatcher) allocIngress() *ingressJob {
+	if n := len(d.ingressFree); n > 0 {
+		j := d.ingressFree[n-1]
+		d.ingressFree = d.ingressFree[:n-1]
+		return j
+	}
+	return &ingressJob{d: d}
+}
+
+// enqueueBatch queues one ingress job on the doorbell. The first job in
+// an empty doorbell arms the window timer; a full doorbell cancels it
+// and flushes immediately.
+func (d *Dispatcher) enqueueBatch(j *ingressJob) {
+	if len(d.batch) == 0 {
+		d.batchTimer = d.s.ScheduleTimer(d.cfg.Batch.Window, flushWindow, d)
+	}
+	d.batch = append(d.batch, j)
+	if len(d.batch) >= d.cfg.Batch.Size {
+		d.s.CancelTimer(d.batchTimer)
+		d.Stats.BatchFull.Inc()
+		d.flushBatch()
+	}
+}
+
+// flushWindow is the static window-expiry timer callback.
+func flushWindow(v any) {
+	d := v.(*Dispatcher)
+	d.Stats.BatchWindow.Inc()
+	d.flushBatch()
+}
+
+// flushBatch moves the accumulated doorbell into a pooled dispatch and
+// schedules ONE decode-pipeline event for the whole batch.
+func (d *Dispatcher) flushBatch() {
+	var db *doorbell
+	if n := len(d.doorbellFree); n > 0 {
+		db = d.doorbellFree[n-1]
+		d.doorbellFree = d.doorbellFree[:n-1]
+	} else {
+		db = &doorbell{d: d}
+	}
+	db.jobs = append(db.jobs[:0], d.batch...)
+	d.batch = d.batch[:0]
+	d.s.ScheduleCall(d.cfg.NICDecode, ringDoorbell, db)
 }
 
 // hostIngress is the baseline path: PCIe up, a single-server CPU queue
@@ -468,7 +639,14 @@ func (d *Dispatcher) decodeAndDispatch(from int, buf []byte) {
 		d.Stats.DecodeErrors.Inc() // no live backend: drop, caller times out
 		return
 	}
-	st := &dispatchState{caller: from, slot: slot}
+	var st *dispatchState
+	if n := len(d.stateFree); n > 0 {
+		st = d.stateFree[n-1]
+		d.stateFree = d.stateFree[:n-1]
+	} else {
+		st = &dispatchState{}
+	}
+	st.caller, st.slot = from, slot
 	if d.tracer != nil {
 		st.span = d.tracer.Start(obs.ReqFlow(req.ID), "rpcnic.dispatch", 0)
 	}
@@ -491,20 +669,37 @@ func (d *Dispatcher) onWorkResp(payload []byte) {
 	}
 	delete(d.table, resp.ID)
 	d.router.Done(st.slot)
+	caller, span := st.caller, st.span
+	st.slot = nil
+	d.stateFree = append(d.stateFree, st)
+	if d.cfg.Offload {
+		// The reply is forwarded after the NIC pipeline delay; the ingress
+		// buffer is recycled when this handler returns, so the payload is
+		// copied into a pooled reply job.
+		var j *replyJob
+		if n := len(d.replyFree); n > 0 {
+			j = d.replyFree[n-1]
+			d.replyFree = d.replyFree[:n-1]
+		} else {
+			j = &replyJob{d: d}
+		}
+		j.caller, j.span = caller, span
+		j.buf = append(j.buf[:0], payload...)
+		d.s.ScheduleCall(d.cfg.NICDecode, sendReply, j)
+		return
+	}
+	// Baseline: response surfaces to host software and comes back down
+	// (a private payload copy, held across the modeled crossings).
+	buf := append([]byte(nil), payload...)
 	send := func() {
 		d.Stats.Replies.Inc()
 		if d.tracer != nil {
-			d.tracer.End(st.span)
+			d.tracer.End(span)
 		}
-		must(d.shells[d.dispHost].SendDatagram(st.caller, KindReply, payload))
+		must(d.shells[d.dispHost].SendDatagram(caller, KindReply, buf))
 	}
-	if d.cfg.Offload {
-		d.s.Schedule(d.cfg.NICDecode, send)
-		return
-	}
-	// Baseline: response surfaces to host software and comes back down.
-	pcie := d.pcieTime(len(payload))
-	decode := d.cfg.HostDecodeFixed/2 + d.cfg.HostDecodePerByte*sim.Time(len(payload))
+	pcie := d.pcieTime(len(buf))
+	decode := d.cfg.HostDecodeFixed/2 + d.cfg.HostDecodePerByte*sim.Time(len(buf))
 	d.s.Schedule(pcie, func() {
 		start := d.s.Now()
 		if d.hostBusyUntil > start {
@@ -514,7 +709,7 @@ func (d *Dispatcher) onWorkResp(payload []byte) {
 		d.hostBusyUntil = fin
 		d.hostBusyTotal += decode
 		d.s.ScheduleAt(fin, func() {
-			d.s.Schedule(d.pcieTime(len(payload)), send)
+			d.s.Schedule(d.pcieTime(len(buf)), send)
 		})
 	})
 }
@@ -530,26 +725,38 @@ func (d *Dispatcher) pcieTime(n int) sim.Time {
 func (c *caller) call(method byte, args []byte) {
 	c.nextSeq++
 	id := uint64(c.host)<<32 | c.nextSeq
-	rc := &rpcCall{sentAt: c.d.s.Now()}
+	var rc *rpcCall
+	if n := len(c.callFree); n > 0 {
+		rc = c.callFree[n-1]
+		c.callFree = c.callFree[:n-1]
+	} else {
+		rc = &rpcCall{c: c}
+	}
+	rc.id, rc.sentAt = id, c.d.s.Now()
 	if c.d.tracer != nil {
 		rc.span = c.d.tracer.Start(obs.ReqFlow(id), "rpcnic.rpc", 0)
 	}
 	c.pending[id] = rc
-	rc.timer = c.d.s.Schedule(c.d.cfg.Timeout, func() { c.expire(id) })
-	must(c.sh.SendDatagram(c.d.dispHost, KindIngress, EncodeReq(Req{Method: method, ID: id, Args: args})))
+	rc.timer = c.d.s.ScheduleTimer(c.d.cfg.Timeout, expireRPC, rc)
+	c.scratch = AppendReq(c.scratch[:0], Req{Method: method, ID: id, Args: args})
+	must(c.sh.SendDatagram(c.d.dispHost, KindIngress, c.scratch))
 }
 
-func (c *caller) expire(id uint64) {
-	rc, ok := c.pending[id]
-	if !ok {
+// expireRPC is the static caller-timeout callback (the timer arg is the
+// call; the pending check guards a recycled call under the same id slot).
+func expireRPC(v any) {
+	rc := v.(*rpcCall)
+	c := rc.c
+	if c.pending[rc.id] != rc {
 		return
 	}
-	delete(c.pending, id)
+	delete(c.pending, rc.id)
 	c.d.Stats.Timeouts.Inc()
 	if c.d.tracer != nil {
 		c.d.tracer.End(rc.span)
 	}
-	c.d.fold(id, 0x7F)
+	c.d.fold(rc.id, 0x7F)
+	c.callFree = append(c.callFree, rc)
 }
 
 func (c *caller) onDatagram(from int, kind uint8, payload []byte) {
@@ -565,13 +772,14 @@ func (c *caller) onDatagram(from int, kind uint8, payload []byte) {
 		return
 	}
 	delete(c.pending, resp.ID)
-	c.d.s.Cancel(rc.timer)
+	c.d.s.CancelTimer(rc.timer)
 	lat := c.d.s.Now() - rc.sentAt
 	c.d.Stats.Latency.Observe(int64(lat))
 	if c.d.tracer != nil {
 		c.d.tracer.End(rc.span)
 	}
 	c.d.fold(resp.ID, uint64(lat))
+	c.callFree = append(c.callFree, rc)
 }
 
 // fold mixes one completion into the dispatcher-wide FNV digest. All
@@ -616,6 +824,10 @@ type Result struct {
 	// HostBusy is the dispatcher host CPU's busy fraction over Duration —
 	// identically zero in offload mode, which is the point.
 	HostBusy float64
+	// Doorbells counts batched dispatch events and BatchedReqs the
+	// requests they carried (both zero with batching off).
+	Doorbells   uint64
+	BatchedReqs uint64
 	// RouteHash digests every backend routing decision (svclb.Router).
 	RouteHash uint64
 	Digest    uint64
@@ -633,9 +845,11 @@ func (d *Dispatcher) Result() Result {
 		Offered:   d.Stats.Ingress.Value(),
 		Completed: d.Stats.Replies.Value(),
 		Timeouts:  d.Stats.Timeouts.Value(),
-		HostBusy:  float64(d.hostBusyTotal) / float64(d.cfg.Duration),
-		RouteHash: d.router.RouteHash(),
-		Digest:    d.digest,
+		HostBusy:    float64(d.hostBusyTotal) / float64(d.cfg.Duration),
+		Doorbells:   d.Stats.BatchFlushes.Value(),
+		BatchedReqs: d.Stats.BatchReqs.Value(),
+		RouteHash:   d.router.RouteHash(),
+		Digest:      d.digest,
 	}
 	if d.Stats.Latency.Count() > 0 {
 		r.P50 = sim.Time(d.Stats.Latency.Quantile(0.50))
@@ -665,6 +879,12 @@ func Run(cfg Config) Result {
 	for ci, c := range d.callers {
 		c := c
 		rng := s.NewRand()
+		// Per-caller argument scratch: the contents are deterministic and
+		// call() encodes synchronously, so one buffer per caller suffices.
+		args := make([]byte, cfg.ArgBytes)
+		for i := range args {
+			args[i] = byte(i)
+		}
 		gens[ci] = workload.NewOpenLoop(s, cfg.Rate, func() {
 			method := byte(MethodEcho)
 			switch u := rng.Float64(); {
@@ -672,10 +892,6 @@ func Run(cfg Config) Result {
 				method = MethodRank
 			case u < 0.5:
 				method = MethodHash
-			}
-			args := make([]byte, cfg.ArgBytes)
-			for i := range args {
-				args[i] = byte(i)
 			}
 			c.call(method, args)
 		})

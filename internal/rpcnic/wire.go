@@ -63,15 +63,18 @@ var (
 
 // EncodeReq serializes one RPC request.
 func EncodeReq(r Req) []byte {
-	buf := make([]byte, 14+len(r.Args))
-	buf[0] = reqMagic
-	buf[1] = reqVersion
-	buf[2] = r.Method
-	buf[3] = r.Flags
-	binary.BigEndian.PutUint64(buf[4:], r.ID)
-	binary.BigEndian.PutUint16(buf[12:], uint16(len(r.Args)))
-	copy(buf[14:], r.Args)
-	return buf
+	return AppendReq(make([]byte, 0, 14+len(r.Args)), r)
+}
+
+// AppendReq serializes one RPC request into dst's storage — the
+// zero-alloc variant for senders with a reused scratch buffer (LTL's
+// SendDatagram copies synchronously, so one buffer per sender suffices).
+func AppendReq(dst []byte, r Req) []byte {
+	dst = append(dst, reqMagic, reqVersion, r.Method, r.Flags,
+		byte(r.ID>>56), byte(r.ID>>48), byte(r.ID>>40), byte(r.ID>>32),
+		byte(r.ID>>24), byte(r.ID>>16), byte(r.ID>>8), byte(r.ID),
+		byte(len(r.Args)>>8), byte(len(r.Args)))
+	return append(dst, r.Args...)
 }
 
 // DecodeReq parses a serialized RPC, validating every field before
@@ -120,14 +123,17 @@ type Resp struct {
 
 // EncodeResp serializes one response.
 func EncodeResp(r Resp) []byte {
-	buf := make([]byte, 13+len(r.Ret))
-	buf[0] = reqMagic
-	buf[1] = r.Status
-	buf[2] = r.Method
-	binary.BigEndian.PutUint64(buf[3:], r.ID)
-	binary.BigEndian.PutUint16(buf[11:], uint16(len(r.Ret)))
-	copy(buf[13:], r.Ret)
-	return buf
+	return AppendResp(make([]byte, 0, 13+len(r.Ret)), r)
+}
+
+// AppendResp serializes one response into dst's storage (zero-alloc
+// variant; see AppendReq).
+func AppendResp(dst []byte, r Resp) []byte {
+	dst = append(dst, reqMagic, r.Status, r.Method,
+		byte(r.ID>>56), byte(r.ID>>48), byte(r.ID>>40), byte(r.ID>>32),
+		byte(r.ID>>24), byte(r.ID>>16), byte(r.ID>>8), byte(r.ID),
+		byte(len(r.Ret)>>8), byte(len(r.Ret)))
+	return append(dst, r.Ret...)
 }
 
 // DecodeResp parses a response with the same corruption tolerance as

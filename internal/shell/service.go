@@ -46,12 +46,19 @@ const dgramConn uint16 = 0xFFFF
 const dgramHeaderLen = 7
 
 func encodeDgram(kind uint8, host int, payload []byte) []byte {
-	msg := make([]byte, dgramHeaderLen+len(payload))
-	binary.BigEndian.PutUint16(msg, dgramConn)
-	msg[2] = kind
-	binary.BigEndian.PutUint32(msg[3:], uint32(host))
-	copy(msg[dgramHeaderLen:], payload)
-	return msg
+	return appendDgram(nil, kind, host, payload)
+}
+
+// appendDgram encodes a service datagram into dst's storage. The ER
+// terminal copies message payloads into flit-owned buffers at Send time,
+// so the send paths below build datagrams in a per-shell scratch buffer
+// and reuse it for every datagram (the allocating encodeDgram remains for
+// paths that must retain the message, e.g. a throttled slot send).
+func appendDgram(dst []byte, kind uint8, host int, payload []byte) []byte {
+	dst = append(dst[:0], 0, 0, kind, 0, 0, 0, 0)
+	binary.BigEndian.PutUint16(dst, dgramConn)
+	binary.BigEndian.PutUint32(dst[3:], uint32(host))
+	return append(dst, payload...)
 }
 
 // SendDatagram sends a connection-less service datagram from the role to
@@ -62,7 +69,8 @@ func (sh *Shell) SendDatagram(remoteHost int, kind uint8, payload []byte) error 
 		return fmt.Errorf("shell %d: deployed without the LTL block", sh.hostID)
 	}
 	sh.Stats.DgramsSent.Inc()
-	sh.termRole.Send(er.PortRemote, VCService, encodeDgram(kind, remoteHost, payload))
+	sh.dgramScratch = appendDgram(sh.dgramScratch, kind, remoteHost, payload)
+	sh.termRole.Send(er.PortRemote, VCService, sh.dgramScratch)
 	return nil
 }
 
@@ -86,7 +94,10 @@ func (sh *Shell) SetServiceHandler(h func(fromHost int, kind uint8, payload []by
 }
 
 // onRoleDgram completes the Remote -> Role delivery of a service datagram.
+// The ER message is recycled on return: datagram handlers receive the
+// payload for the duration of the call only and must copy what they keep.
 func (sh *Shell) onRoleDgram(m *er.Message) {
+	defer er.FreeMessage(m)
 	if len(m.Payload) < dgramHeaderLen {
 		return
 	}
@@ -108,8 +119,10 @@ func (sh *Shell) onRoleDgram(m *er.Message) {
 }
 
 // onRemoteDgram completes the Role -> Remote direction: the datagram
-// leaves the chip through the LTL engine.
+// leaves the chip through the LTL engine. SendDatagram encodes the frame
+// synchronously, so the ER message is recycled on return.
 func (sh *Shell) onRemoteDgram(m *er.Message) {
+	defer er.FreeMessage(m)
 	if len(m.Payload) < dgramHeaderLen {
 		return
 	}

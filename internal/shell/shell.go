@@ -190,6 +190,13 @@ type Shell struct {
 	// dgramIngress records that the engine-side datagram receiver is
 	// installed (shared by the global handler and slot handlers).
 	dgramIngress bool
+	// dgramScratch is the reused encode buffer for outgoing and
+	// ER-forwarded service datagrams (see appendDgram).
+	dgramScratch []byte
+
+	// ltlInflight tracks network packets loaned to the LTL engine
+	// (HandleFrame); the engine's frame-release hook recycles them.
+	ltlInflight map[*pkt.Frame]*netsim.Packet
 
 	// vFPGA slots (slots.go): slot state, datagram-kind routing, and
 	// the multi-tenancy counters. Empty on single-role shells.
@@ -240,6 +247,8 @@ func New(s *sim.Simulation, hostID int, portCfg netsim.PortConfig, cfg Config) *
 	sh.netPort = netsim.NewPort(s, sh, 1, portCfg)
 	if !cfg.NoLTL {
 		sh.Engine = ltl.New(s, sh, cfg.LTL)
+		sh.ltlInflight = make(map[*pkt.Frame]*netsim.Packet)
+		sh.Engine.SetFrameRelease(sh.releaseLTLFrame)
 	}
 
 	sh.Router = er.New(s, cfg.ER)
@@ -317,7 +326,9 @@ func (sh *Shell) Output(buf []byte) {
 	if sh.lossRate > 0 && sh.lossRng.Float64() < sh.lossRate {
 		return // flaky link ate the frame
 	}
-	packet := netsim.NewPacket(buf)
+	// Copy-in: the engine's TX buffers are pooled and recycled as soon as
+	// Output returns, so the packet must own its bytes.
+	packet := netsim.NewPacketCopy(buf)
 	if sh.tracer != nil && packet.F.IsLTL() {
 		// Stamp the flow so every fabric hop can hang spans off the
 		// packet: the flow tuple is recomputed from header fields alone,
@@ -329,6 +340,15 @@ func (sh *Shell) Output(buf []byte) {
 	}
 	packet.NextPort = sh.netPort
 	sh.sim.ScheduleCall(sh.cfg.BridgeLatency, netsim.EnqueueCall, packet)
+}
+
+// releaseLTLFrame is the engine's frame-release hook: the loaned packet
+// is dead once the engine has dispatched it, so it returns to the pool.
+func (sh *Shell) releaseLTLFrame(f *pkt.Frame) {
+	if p, ok := sh.ltlInflight[f]; ok {
+		delete(sh.ltlInflight, f)
+		p.Free()
+	}
 }
 
 // AddTap appends a tap to the bridge datapath (taps run in order).
@@ -369,9 +389,11 @@ func (sh *Shell) HandleFrame(p *netsim.Port, packet *netsim.Packet) {
 	// LTL frames addressed to this node terminate in the protocol engine.
 	// A NoLTL shell has no engine: such frames fall through to the host,
 	// which has no listener — equivalent to a closed port.
-	// The engine retains packet.F, so the packet is never recycled here.
+	// The packet is loaned to the engine across its rx pipeline delay;
+	// the frame-release hook recycles it once dispatch completes.
 	if dir == NetToHost && packet.F.IsLTL() && packet.F.DstIP == sh.ip && sh.Engine != nil {
 		sh.Stats.LTLConsumed.Inc()
+		sh.ltlInflight[packet.F] = packet
 		sh.Engine.HandleFrame(packet.F)
 		return
 	}

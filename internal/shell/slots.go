@@ -388,12 +388,15 @@ func (sh *Shell) SendDatagramSlot(i int, remoteHost int, kind uint8, payload []b
 	}
 	sh.Tenant.EgressBytes.Add(uint64(len(payload)))
 	sh.Stats.DgramsSent.Inc()
-	msg := encodeDgram(kind, remoteHost, payload)
 	delay := s.bucket.charge(sh.sim.Now(), len(payload))
 	if delay <= 0 {
-		sh.termRole.Send(er.PortRemote, s.vc, msg)
+		sh.dgramScratch = appendDgram(sh.dgramScratch, kind, remoteHost, payload)
+		sh.termRole.Send(er.PortRemote, s.vc, sh.dgramScratch)
 		return nil
 	}
+	// The throttled path holds the message across the pacing delay, so it
+	// needs its own allocation (the scratch buffer would be overwritten).
+	msg := encodeDgram(kind, remoteHost, payload)
 	sh.Tenant.EgressThrottled.Inc()
 	sh.Tenant.EgressWait.Observe(int64(delay))
 	vc := s.vc
@@ -419,7 +422,8 @@ func (sh *Shell) ensureDgramIngress() error {
 		if si, ok := sh.kindSlot[kind]; ok {
 			vc = sh.slots[si].vc
 		}
-		sh.termRemote.Send(er.PortRole, vc, encodeDgram(kind, id, payload))
+		sh.dgramScratch = appendDgram(sh.dgramScratch, kind, id, payload)
+		sh.termRemote.Send(er.PortRole, vc, sh.dgramScratch)
 	})
 	return nil
 }

@@ -153,8 +153,15 @@ func (s *Simulation) Rand() *rand.Rand { return s.rng }
 // need private randomness (e.g. background traffic) should take their own
 // stream so adding a model does not perturb others' draws.
 func (s *Simulation) NewRand() *rand.Rand {
-	return rand.New(rand.NewSource(s.rng.Int63()))
+	return rand.New(rand.NewSource(s.DrawSeed()))
 }
+
+// DrawSeed draws a seed for a derived deterministic stream. It consumes
+// exactly what NewRand consumes, so a caller may take the seed now (in
+// construction order, keeping every other stream unchanged) and defer the
+// expensive generator construction until the stream is first used — or
+// skip it entirely.
+func (s *Simulation) DrawSeed() int64 { return s.rng.Int63() }
 
 // Fired reports how many events have executed so far. Lazily-cancelled
 // events are discarded without executing and are not counted.
@@ -224,6 +231,11 @@ func (s *Simulation) next(limit Time) *Event {
 			}
 			e.queued = false
 			if e.stopped {
+				if e.pooled {
+					e.call, e.arg = nil, nil
+					e.stopped = false
+					s.free = append(s.free, e)
+				}
 				continue
 			}
 			s.wheelTime = at
@@ -326,6 +338,51 @@ func (s *Simulation) ScheduleCall(delay Time, fn func(any), arg any) {
 	s.seq++
 	s.live++
 	s.insert(e)
+}
+
+// Timer is a cancellable handle to a pooled ScheduleTimer event. The seq
+// field is a generation token: once the event fires and is reissued to a
+// different caller its seq changes, so a stale Timer can never cancel an
+// event it no longer owns.
+type Timer struct {
+	e   *Event
+	seq uint64
+}
+
+// ScheduleTimer is ScheduleCall with a cancellable handle: the event still
+// comes from the freelist (no allocation), and CancelTimer tombstones it
+// exactly like Cancel does for Schedule events — skipped, uncounted, and
+// recycled when the wheel reaches it.
+func (s *Simulation) ScheduleTimer(delay Time, fn func(any), arg any) Timer {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", delay))
+	}
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		e = &Event{pooled: true}
+	}
+	e.at = s.now + delay
+	e.seq = s.seq
+	e.call = fn
+	e.arg = arg
+	e.queued = true
+	e.stopped = false
+	s.seq++
+	s.live++
+	s.insert(e)
+	return Timer{e: e, seq: e.seq}
+}
+
+// CancelTimer cancels a pending ScheduleTimer event. Cancelling a fired,
+// reissued, or already-cancelled timer is a no-op (returns false).
+func (s *Simulation) CancelTimer(t Timer) bool {
+	if t.e == nil || t.e.seq != t.seq {
+		return false
+	}
+	return s.Cancel(t.e)
 }
 
 // ScheduleAt runs fn at absolute virtual time at (>= Now).

@@ -91,32 +91,96 @@ func expNetsvcKV(scale Scale) *Table {
 	return t
 }
 
-// expNetsvcRPC runs the offload/host pair. Everything but the decode
-// location is held fixed, so the two rows isolate what moving
-// serialization handling onto the NIC-attached FPGA buys.
+// expNetsvcRPC runs the offload/host pair, then the offload pipeline
+// again with doorbell batching. Everything but the decode location (and,
+// for the batched rows, the doorbell) is held fixed, so the first two
+// rows isolate what moving serialization handling onto the NIC-attached
+// FPGA buys, and the batched rows expose the dispatch-events-vs-tail
+// trade: fewer pipeline events per request, at the price of requests
+// waiting for the doorbell to fill.
 func expNetsvcRPC(scale Scale) *Table {
 	t := &Table{
-		Title: "E18b — RPC NIC: FPGA offload vs host-software decode (same seed, topology, and workload)",
-		Headers: []string{"mode", "offered", "completed", "timeouts",
-			"p50", "p99", "mean", "host CPU busy"},
+		Title: "E18b — RPC NIC: FPGA offload vs host-software decode, and doorbell batching (same seed, topology, and workload)",
+		Headers: []string{"mode", "batch", "offered", "completed", "timeouts",
+			"p50", "p99", "mean", "doorbells", "host CPU busy"},
 	}
-	for _, offload := range []bool{true, false} {
+	points := []struct {
+		offload bool
+		batch   int
+		window  sim.Time
+	}{
+		{true, 0, 0}, {false, 0, 0},
+		{true, 4, 2 * sim.Microsecond},
+		{true, 16, 16 * sim.Microsecond},
+	}
+	for _, pt := range points {
 		cfg := rpcnic.DefaultConfig()
 		cfg.Seed = 18
-		cfg.Offload = offload
+		cfg.Offload = pt.offload
+		cfg.Batch.Size = pt.batch
+		cfg.Batch.Window = pt.window
 		cfg.FaultProfile = defaultFaultProfile
 		if scale == Full {
 			cfg.Duration = 40 * Millisecond
 			cfg.Drain = 8 * Millisecond
 		}
-		if offload && TelemetryEnabled() {
+		if pt.offload && pt.batch == 0 && TelemetryEnabled() {
 			cfg.Telemetry = true
 			cfg.SpanLimit = 4096
 		}
 		res := rpcnic.Run(cfg)
 		addTelemetry("netsvc", res.Record)
-		t.AddRow(res.Mode, res.Offered, res.Completed, res.Timeouts,
-			res.P50, res.P99, res.Mean, fmt.Sprintf("%.2f", res.HostBusy))
+		batch, doorbells := "-", "-"
+		if pt.batch > 0 {
+			batch = fmt.Sprintf("%dx%s", pt.batch, pt.window)
+			doorbells = fmt.Sprint(res.Doorbells)
+		}
+		t.AddRow(res.Mode, batch, res.Offered, res.Completed, res.Timeouts,
+			res.P50, res.P99, res.Mean, doorbells, fmt.Sprintf("%.2f", res.HostBusy))
+	}
+	return t
+}
+
+// expNetsvcKVBatch is E18b's KV half: multi-get coalescing on the
+// unchanged set-associative store, then the cuckoo directory A/B against
+// set-associative on a deliberately pressured geometry (512 directory
+// slots across 4 shards for a 512-key working set), where what a 2-hash
+// x 4-way cuckoo table buys is visible as occupancy and hit rate at
+// identical workload, seed, and capacity.
+func expNetsvcKVBatch(scale Scale) *Table {
+	t := &Table{
+		Title: "E18b (KV) — multi-get coalescing and cuckoo vs set-associative directory (occupancy at matched capacity)",
+		Headers: []string{"variant", "offered", "completed", "hit rate",
+			"p50", "p99", "occupancy", "evictions", "kicks"},
+	}
+	row := func(name string, cfg kvcache.Config) {
+		res := kvcache.Run(cfg)
+		occ := "-"
+		if res.Slots > 0 {
+			occ = fmt.Sprintf("%.3f", float64(res.Used)/float64(res.Slots))
+		}
+		t.AddRow(name, res.Offered, res.Completed,
+			fmt.Sprintf("%.3f", res.HitRate), res.P50, res.P99,
+			occ, res.Evictions, res.Kicks)
+	}
+	for _, mget := range []int{1, 4, 8} {
+		cfg := netsvcKVConfig(18, 25000, 1.2, scale)
+		cfg.MGetBatch = mget
+		name := "mget off"
+		if mget > 1 {
+			name = fmt.Sprintf("mget x%d", mget)
+		}
+		row(name, cfg)
+	}
+	for _, cuckoo := range []bool{false, true} {
+		cfg := netsvcKVConfig(18, 25000, 0, scale)
+		cfg.Store.Sets, cfg.Store.Ways = 32, 4
+		cfg.Store.Cuckoo = cuckoo
+		name := "set-assoc 32x4"
+		if cuckoo {
+			name = "cuckoo 32x4"
+		}
+		row(name, cfg)
 	}
 	return t
 }
@@ -138,6 +202,12 @@ type NetsvcScaleConfig struct {
 	MeanGap           sim.Time
 	Timeout           sim.Time
 	Duration          sim.Time
+	// Cuckoo selects the cuckoo store directory on every shard.
+	Cuckoo bool
+	// MGetBatch > 1 coalesces each client's GETs into per-shard
+	// multi-get datagrams of that size; buffered keys ride the next
+	// flush, so the closed loop advances as soon as a key is queued.
+	MGetBatch int
 	// Workers is the shard-advancing goroutine count (0 = one per core).
 	Workers int
 	// Engine selects the shard coordination engine (zero value: the
@@ -206,7 +276,9 @@ func RunNetsvcScalePoint(cfg NetsvcScaleConfig) NetsvcScaleResult {
 		h := p*perPod + topo.HostsPerTOR
 		shardHosts[p] = h
 		n := c.Node(h)
-		st := kvcache.NewStore(c.SimForHost(h), n.Shell.DRAM, kvcache.DefaultStoreConfig())
+		sc := kvcache.DefaultStoreConfig()
+		sc.Cuckoo = cfg.Cuckoo
+		st := kvcache.NewStore(c.SimForHost(h), n.Shell.DRAM, sc)
 		kvcache.AttachShard(c.SimForHost(h), n.Shell, st)
 	}
 	lookup := func(hash uint64) int { return shardHosts[hash%uint64(len(shardHosts))] }
@@ -225,6 +297,15 @@ func RunNetsvcScalePoint(cfg NetsvcScaleConfig) NetsvcScaleResult {
 			rng := ps.NewRand()
 			remaining := cfg.RequestsPerClient
 			var next func(kvcache.Outcome)
+			var pend [][]int
+			var mkeys [][]byte
+			var arena []byte
+			if cfg.MGetBatch > 1 {
+				pend = make([][]int, len(shardHosts))
+				mkeys = make([][]byte, cfg.MGetBatch)
+				arena = make([]byte, cfg.MGetBatch*16)
+			}
+			mnext := func(kvcache.MResp, sim.Time, bool) { next(kvcache.Outcome{}) }
 			issue := func() {
 				if remaining == 0 {
 					return
@@ -233,6 +314,21 @@ func RunNetsvcScalePoint(cfg NetsvcScaleConfig) NetsvcScaleResult {
 				idx := rng.Intn(cfg.Keys)
 				key := kvcache.MakeKey(idx, 16)
 				if rng.Float64() < cfg.GetFraction {
+					if cfg.MGetBatch > 1 {
+						sidx := cl.ShardOf(key, len(shardHosts))
+						pend[sidx] = append(pend[sidx], idx)
+						if len(pend[sidx]) >= cfg.MGetBatch {
+							for i, kidx := range pend[sidx] {
+								mkeys[i] = kvcache.MakeKeyInto(arena[i*16:(i+1)*16], kidx)
+							}
+							n := len(pend[sidx])
+							pend[sidx] = pend[sidx][:0]
+							cl.MultiGet(mkeys[:n], mnext)
+						} else {
+							next(kvcache.Outcome{}) // buffered: the loop advances
+						}
+						return
+					}
 					cl.Get(key, next)
 				} else {
 					cl.Put(key, kvcache.MakeVal(idx, 128), next)
@@ -390,6 +486,7 @@ func ExpNetsvc(scale Scale) []*Table {
 	return []*Table{
 		expNetsvcKV(scale),
 		expNetsvcRPC(scale),
+		expNetsvcKVBatch(scale),
 		expNetsvcScale(scale),
 		expNetsvcHTTP(scale),
 	}
